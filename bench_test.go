@@ -1,0 +1,560 @@
+// Benchmarks regenerating the experiments in DESIGN.md's
+// per-experiment index (C1..C12, plus the SAA pipeline of F4.2).
+// cmd/hipac-bench runs the same workloads as parameter sweeps and
+// prints the tables recorded in EXPERIMENTS.md.
+package hipac_test
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	hipac "repro"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/datum"
+	"repro/internal/feed"
+	"repro/internal/rule"
+	"repro/internal/saa"
+	"repro/internal/server"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+func mustB(b *testing.B, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func setupEngine(b *testing.B) *core.Engine {
+	b.Helper()
+	e, _ := workload.MustEngine()
+	b.Cleanup(func() { e.Close() })
+	mustB(b, workload.DefineBase(e))
+	e.RegisterCall("noop", func(*txn.Txn, map[string]datum.Value) error { return nil })
+	return e
+}
+
+// --- C1: coupling-mode cost (one rule, one update per iteration) ---
+
+func BenchmarkCouplingModes(b *testing.B) {
+	for _, ec := range []string{"immediate", "deferred", "separate"} {
+		for _, ca := range []string{"immediate", "deferred", "separate"} {
+			b.Run(ec+"-"+ca, func(b *testing.B) {
+				e := setupEngine(b)
+				oids, err := workload.SeedStocks(e, 1)
+				mustB(b, err)
+				_, err = e.CreateRule(workload.AuditRuleDef("audit", ec, ca))
+				mustB(b, err)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mustB(b, workload.UpdateOne(e, oids[0], float64(i)))
+				}
+				e.Quiesce()
+			})
+		}
+	}
+}
+
+// --- C2: sibling concurrency vs serial baseline ---
+
+const siblingWork = 200_000 // Spin iterations per action
+
+func BenchmarkSiblingConcurrency(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e := setupEngine(b)
+			oids, err := workload.SeedStocks(e, 1)
+			mustB(b, err)
+			var sink atomic.Int64
+			e.RegisterCall("work", func(*txn.Txn, map[string]datum.Value) error {
+				sink.Add(workload.Spin(siblingWork))
+				return nil
+			})
+			for _, def := range workload.CallRuleDefs(n, "work") {
+				_, err := e.CreateRule(def)
+				mustB(b, err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustB(b, workload.UpdateOne(e, oids[0], float64(i)))
+			}
+		})
+	}
+}
+
+func BenchmarkSiblingSerialBaseline(b *testing.B) {
+	// The same total work executed serially by one firing.
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e := setupEngine(b)
+			oids, err := workload.SeedStocks(e, 1)
+			mustB(b, err)
+			var sink atomic.Int64
+			e.RegisterCall("workN", func(*txn.Txn, map[string]datum.Value) error {
+				for k := 0; k < n; k++ {
+					sink.Add(workload.Spin(siblingWork))
+				}
+				return nil
+			})
+			_, err = e.CreateRule(rule.Def{
+				Name:   "serial",
+				Event:  "modify(Stock)",
+				Action: []rule.Step{{Kind: rule.StepCall, Fn: "workN"}},
+				EC:     "immediate", CA: "immediate",
+			})
+			mustB(b, err)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustB(b, workload.UpdateOne(e, oids[0], float64(i)))
+			}
+		})
+	}
+}
+
+// --- C3: cascade depth ---
+
+func BenchmarkCascadeDepth(b *testing.B) {
+	for _, depth := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("d=%d", depth), func(b *testing.B) {
+			e := setupEngine(b)
+			first, err := workload.CascadeChain(e, depth)
+			mustB(b, err)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := e.Begin()
+				_, err := e.Create(tx, first, map[string]datum.Value{"x": datum.Int(0)})
+				mustB(b, err)
+				mustB(b, tx.Commit())
+			}
+		})
+	}
+}
+
+// --- C4: condition-graph sharing vs naive, and incremental cache ---
+
+func BenchmarkConditionGraphShared(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("rules=%d", n), func(b *testing.B) {
+			e := setupEngine(b)
+			oids, err := workload.SeedStocks(e, 200)
+			mustB(b, err)
+			for _, def := range workload.SharedConditionRules(n, 1.0) {
+				_, err := e.CreateRule(def)
+				mustB(b, err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustB(b, workload.UpdateOne(e, oids[i%200], float64(i)))
+			}
+		})
+	}
+}
+
+func BenchmarkConditionNaive(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("rules=%d", n), func(b *testing.B) {
+			e := setupEngine(b)
+			oids, err := workload.SeedStocks(e, 200)
+			mustB(b, err)
+			for _, def := range workload.SharedConditionRules(n, 0.0) {
+				_, err := e.CreateRule(def)
+				mustB(b, err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustB(b, workload.UpdateOne(e, oids[i%200], float64(i)))
+			}
+		})
+	}
+}
+
+func BenchmarkIncrementalEval(b *testing.B) {
+	// Event-free condition evaluated by separate (clean) firings:
+	// the cross-event cache answers repeats until the class changes.
+	run := func(b *testing.B, eventFree bool) {
+		e := setupEngine(b)
+		_, err := workload.SeedStocks(e, 500)
+		mustB(b, err)
+		tx := e.Begin()
+		mustB(b, e.DefineClass(tx, hipac.Class{Name: "Tick",
+			Attrs: []hipac.AttrDef{{Name: "x", Kind: hipac.KindInt}}}))
+		mustB(b, tx.Commit())
+		cond := "select s from Stock s where s.price >= 0"
+		if !eventFree {
+			cond = "select s from Stock s where s.price >= 0 + event.zero * 0"
+		}
+		_, err = e.CreateRule(rule.Def{
+			Name:      "watcher",
+			Event:     "create(Tick)",
+			Condition: []string{cond},
+			Action:    []rule.Step{{Kind: rule.StepCall, Fn: "noop"}},
+			EC:        "separate", CA: "immediate",
+		})
+		mustB(b, err)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tx := e.Begin()
+			_, err := e.Create(tx, "Tick", map[string]datum.Value{"x": datum.Int(int64(i))})
+			mustB(b, err)
+			mustB(b, tx.Commit())
+			if i%100 == 99 {
+				e.Quiesce() // bound in-flight separate firings
+			}
+		}
+		e.Quiesce()
+	}
+	b.Run("cached", func(b *testing.B) { run(b, true) })
+	b.Run("uncached", func(b *testing.B) { run(b, false) })
+}
+
+// --- C5: active-vs-passive overhead ---
+
+func BenchmarkPassiveBaseline(b *testing.B) {
+	e := setupEngine(b)
+	oids, err := workload.SeedStocks(e, 100)
+	mustB(b, err)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustB(b, workload.UpdateOne(e, oids[i%100], float64(i)))
+	}
+}
+
+func BenchmarkActiveNoMatch(b *testing.B) {
+	e := setupEngine(b)
+	oids, err := workload.SeedStocks(e, 100)
+	mustB(b, err)
+	mustB(b, workload.NonMatchingRules(e, 100))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustB(b, workload.UpdateOne(e, oids[i%100], float64(i)))
+	}
+}
+
+func BenchmarkActiveDisabled(b *testing.B) {
+	e := setupEngine(b)
+	oids, err := workload.SeedStocks(e, 100)
+	mustB(b, err)
+	mustB(b, workload.DisabledRules(e, 100))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustB(b, workload.UpdateOne(e, oids[i%100], float64(i)))
+	}
+}
+
+// --- C6: composite event detection ---
+
+func BenchmarkCompositeDetection(b *testing.B) {
+	for _, shape := range []struct {
+		name string
+		spec string
+	}{
+		{"or", "or(external(A), external(B))"},
+		{"seq", "seq(external(A), external(B))"},
+		{"and", "and(external(A), external(B))"},
+	} {
+		b.Run(shape.name, func(b *testing.B) {
+			e := setupEngine(b)
+			mustB(b, e.DefineEvent("A"))
+			mustB(b, e.DefineEvent("B"))
+			_, err := e.CreateRule(rule.Def{
+				Name:   "composite",
+				Event:  shape.spec,
+				Action: []rule.Step{{Kind: rule.StepCall, Fn: "noop"}},
+				EC:     "immediate", CA: "immediate",
+			})
+			mustB(b, err)
+			tx := e.Begin()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name := "A"
+				if i%2 == 1 {
+					name = "B"
+				}
+				mustB(b, e.SignalEvent(tx, name, nil))
+			}
+			b.StopTimer()
+			mustB(b, tx.Commit())
+		})
+	}
+}
+
+// --- C7: deferred-set size vs commit latency ---
+
+func BenchmarkDeferredCommit(b *testing.B) {
+	for _, n := range []int{1, 8, 64, 256} {
+		b.Run(fmt.Sprintf("deferred=%d", n), func(b *testing.B) {
+			e := setupEngine(b)
+			oids, err := workload.SeedStocks(e, 1)
+			mustB(b, err)
+			_, err = e.CreateRule(workload.AuditRuleDef("audit", "deferred", "immediate"))
+			mustB(b, err)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := e.Begin()
+				for k := 0; k < n; k++ {
+					mustB(b, e.Modify(tx, oids[0], map[string]datum.Value{
+						"price": datum.Float(float64(k))}))
+				}
+				mustB(b, tx.Commit()) // n deferred firings drain here
+			}
+		})
+	}
+}
+
+// --- C8: nested transaction overhead ---
+
+func BenchmarkNestedTxnOverhead(b *testing.B) {
+	for _, depth := range []int{0, 1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			e := setupEngine(b)
+			oids, err := workload.SeedStocks(e, 1)
+			mustB(b, err)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				top := e.Begin()
+				cur := top
+				chain := make([]*txn.Txn, 0, depth)
+				ok := true
+				for d := 0; d < depth; d++ {
+					c, err := cur.Child()
+					mustB(b, err)
+					chain = append(chain, c)
+					cur = c
+				}
+				mustB(b, e.Modify(cur, oids[0], map[string]datum.Value{
+					"price": datum.Float(float64(i))}))
+				for j := len(chain) - 1; j >= 0; j-- {
+					mustB(b, chain[j].Commit())
+				}
+				mustB(b, top.Commit())
+				_ = ok
+			}
+		})
+	}
+}
+
+// --- C9: rule read-lock acquisition on the firing path ---
+
+func BenchmarkRuleLockContention(b *testing.B) {
+	// Firing takes a read lock per rule; many rules on one event
+	// means many lock acquisitions per update.
+	for _, n := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("rules=%d", n), func(b *testing.B) {
+			e := setupEngine(b)
+			oids, err := workload.SeedStocks(e, 1)
+			mustB(b, err)
+			for _, def := range workload.CallRuleDefs(n, "noop") {
+				_, err := e.CreateRule(def)
+				mustB(b, err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustB(b, workload.UpdateOne(e, oids[0], float64(i)))
+			}
+		})
+	}
+}
+
+// --- C10: disabled-rule cost at signal time ---
+
+func BenchmarkDisabledRuleCost(b *testing.B) {
+	for _, n := range []int{0, 100, 1000} {
+		b.Run(fmt.Sprintf("disabled=%d", n), func(b *testing.B) {
+			e := setupEngine(b)
+			oids, err := workload.SeedStocks(e, 1)
+			mustB(b, err)
+			mustB(b, workload.DisabledRules(e, n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustB(b, workload.UpdateOne(e, oids[0], float64(i)))
+			}
+		})
+	}
+}
+
+// --- C11: temporal scheduling ---
+
+func BenchmarkTemporalScheduling(b *testing.B) {
+	for _, n := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("periodic=%d", n), func(b *testing.B) {
+			e, clk := workload.MustEngine()
+			defer e.Close()
+			mustB(b, workload.DefineBase(e))
+			e.RegisterCall("noop", func(*txn.Txn, map[string]datum.Value) error { return nil })
+			for i := 0; i < n; i++ {
+				_, err := e.CreateRule(rule.Def{
+					Name:   fmt.Sprintf("tick-%03d", i),
+					Event:  "every(1s)",
+					Action: []rule.Step{{Kind: rule.StepCall, Fn: "noop"}},
+					EC:     "immediate", CA: "immediate", // no txn: runs as separate
+				})
+				mustB(b, err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clk.Advance(time.Second) // fires all n periodic rules
+				e.Quiesce()
+			}
+		})
+	}
+}
+
+// --- C12: external signal round trip, in-process and over IPC ---
+
+func BenchmarkExternalSignal(b *testing.B) {
+	e := setupEngine(b)
+	mustB(b, e.DefineEvent("Ping", "n"))
+	_, err := e.CreateRule(rule.Def{
+		Name:   "on-ping",
+		Event:  "external(Ping)",
+		Action: []rule.Step{{Kind: rule.StepCall, Fn: "noop"}},
+		EC:     "immediate", CA: "immediate",
+	})
+	mustB(b, err)
+	tx := e.Begin()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustB(b, e.SignalEvent(tx, "Ping", map[string]datum.Value{"n": datum.Int(int64(i))}))
+	}
+	b.StopTimer()
+	mustB(b, tx.Commit())
+}
+
+func BenchmarkExternalSignalIPC(b *testing.B) {
+	e := setupEngine(b)
+	srv := server.New(e)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	mustB(b, err)
+	go srv.Serve(ln)
+	defer srv.Close()
+	c, err := client.Dial(ln.Addr().String())
+	mustB(b, err)
+	defer c.Close()
+	mustB(b, c.DefineEvent("Ping", "n"))
+	mustB(b, c.CreateRule(rule.Def{
+		Name:   "on-ping",
+		Event:  "external(Ping)",
+		Action: []rule.Step{{Kind: rule.StepCall, Fn: "noop"}},
+		EC:     "immediate", CA: "immediate",
+	}))
+	tx, err := c.Begin()
+	mustB(b, err)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustB(b, c.SignalEvent(tx, "Ping", map[string]datum.Value{"n": datum.Int(int64(i))}))
+	}
+	b.StopTimer()
+	mustB(b, tx.Commit())
+}
+
+// --- F4.2: the SAA pipeline, quotes end to end ---
+
+func BenchmarkSAAPipeline(b *testing.B) {
+	e, _ := workload.MustEngine()
+	defer e.Close()
+	tx := e.Begin()
+	for _, cls := range saa.Classes() {
+		mustB(b, e.DefineClass(tx, cls))
+	}
+	gen := feed.New(feed.Config{Seed: 1})
+	oids := map[string]datum.OID{}
+	for _, sym := range gen.Symbols() {
+		oid, err := e.Create(tx, saa.ClassStock, map[string]datum.Value{
+			"symbol": datum.Str(sym), "price": datum.Float(50),
+		})
+		mustB(b, err)
+		oids[sym] = oid
+	}
+	mustB(b, tx.Commit())
+	mustB(b, e.DefineEvent(saa.EventTradeExecuted, saa.TradeEventParams...))
+	var displayed atomic.Int64
+	e.RegisterAppOperation(saa.OpDisplayQuote, func(map[string]datum.Value) (map[string]datum.Value, error) {
+		displayed.Add(1)
+		return nil, nil
+	})
+	_, err := e.CreateRule(saa.DisplayQuoteRule("display-ticker"))
+	mustB(b, err)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := gen.Next()
+		qt := e.Begin()
+		mustB(b, e.Modify(qt, oids[q.Symbol], map[string]datum.Value{
+			"price": datum.Float(q.Price)}))
+		mustB(b, qt.Commit())
+		if i%256 == 255 {
+			e.Quiesce()
+		}
+	}
+	e.Quiesce()
+	b.StopTimer()
+	if displayed.Load() == 0 {
+		b.Fatal("display never invoked")
+	}
+}
+
+// --- ablations: design choices called out in DESIGN.md ---
+
+// BenchmarkIndexVsScan ablates the secondary index: the same
+// point-predicate condition evaluated with and without an index on
+// the attribute.
+func BenchmarkIndexVsScan(b *testing.B) {
+	run := func(b *testing.B, indexed bool) {
+		e, _ := workload.MustEngine()
+		b.Cleanup(func() { e.Close() })
+		tx := e.Begin()
+		attrs := []hipac.AttrDef{
+			{Name: "symbol", Kind: hipac.KindString, Required: true},
+			{Name: "price", Kind: hipac.KindFloat, Indexed: indexed},
+		}
+		mustB(b, e.DefineClass(tx, hipac.Class{Name: "Stock", Attrs: attrs}))
+		mustB(b, tx.Commit())
+		seed := e.Begin()
+		for i := 0; i < 2000; i++ {
+			_, err := e.Create(seed, "Stock", map[string]datum.Value{
+				"symbol": datum.Str(fmt.Sprintf("S%05d", i)),
+				"price":  datum.Float(float64(i)),
+			})
+			mustB(b, err)
+		}
+		mustB(b, seed.Commit())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tx := e.Begin()
+			res, err := e.Query(tx, "select s from Stock s where s.price = 1234", nil)
+			mustB(b, err)
+			if len(res.Rows) != 1 {
+				b.Fatalf("rows = %d", len(res.Rows))
+			}
+			mustB(b, tx.Commit())
+		}
+	}
+	b.Run("indexed", func(b *testing.B) { run(b, true) })
+	b.Run("scan", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkWALDurability ablates the write-ahead log: committed
+// update cost in-memory, with a WAL (no fsync), and with fsync.
+func BenchmarkWALDurability(b *testing.B) {
+	run := func(b *testing.B, dir string, noSync bool) {
+		e, err := core.Open(core.Options{Dir: dir, NoSync: noSync,
+			Clock: hipac.NewVirtualClock(workload.Epoch)})
+		mustB(b, err)
+		b.Cleanup(func() { e.Close() })
+		mustB(b, workload.DefineBase(e))
+		oids, err := workload.SeedStocks(e, 1)
+		mustB(b, err)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mustB(b, workload.UpdateOne(e, oids[0], float64(i)))
+		}
+	}
+	b.Run("memory", func(b *testing.B) { run(b, "", true) })
+	b.Run("wal-nosync", func(b *testing.B) { run(b, b.TempDir(), true) })
+	b.Run("wal-fsync", func(b *testing.B) { run(b, b.TempDir(), false) })
+}

@@ -1,0 +1,792 @@
+// Command hipac-bench regenerates the experiments in DESIGN.md's
+// per-experiment index and prints one table per experiment; the
+// results recorded in EXPERIMENTS.md come from this tool.
+//
+// Usage:
+//
+//	hipac-bench [-run all|F41|F42|C1|...|C12] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/datum"
+	"repro/internal/feed"
+	"repro/internal/rule"
+	"repro/internal/saa"
+	"repro/internal/server"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (F41, F42, C1..C12) or all")
+	quick := flag.Bool("quick", false, "smaller iteration counts")
+	flag.Parse()
+
+	ids := make([]string, 0, len(experiments))
+	for id := range experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	selected := ids
+	if *run != "all" {
+		want := strings.ToUpper(*run)
+		if _, ok := experiments[want]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; have %s\n", *run, strings.Join(ids, " "))
+			os.Exit(1)
+		}
+		selected = []string{want}
+	}
+	warmProcess()
+	for _, id := range selected {
+		fmt.Printf("=== %s: %s ===\n", id, titles[id])
+		if err := experiments[id](*quick); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+var titles = map[string]string{
+	"F41": "Figure 4.1 — application/DBMS interface over IPC",
+	"F42": "Figure 4.2 — SAA pipeline throughput",
+	"C1":  "coupling-mode cost per triggering update",
+	"C2":  "concurrent sibling firings vs serial baseline",
+	"C3":  "cascade depth cost",
+	"C4":  "condition-graph sharing vs naive evaluation",
+	"C5":  "active-vs-passive DML overhead",
+	"C6":  "composite event detection cost",
+	"C7":  "commit latency vs deferred-set size",
+	"C8":  "nested transaction depth overhead",
+	"C9":  "rule read-lock cost on the firing path",
+	"C10": "disabled-rule cost at signal time",
+	"C11": "temporal scheduling cost",
+	"C12": "external signal round trip (in-process vs IPC)",
+}
+
+var experiments = map[string]func(quick bool) error{
+	"F41": expF41, "F42": expF42,
+	"C1": expC1, "C2": expC2, "C3": expC3, "C4": expC4,
+	"C5": expC5, "C6": expC6, "C7": expC7, "C8": expC8,
+	"C9": expC9, "C10": expC10, "C11": expC11, "C12": expC12,
+}
+
+// measure warms the path up, then runs fn iters times and returns
+// the mean duration per iteration.
+func measure(iters int, fn func(i int) error) (time.Duration, error) {
+	warm := iters / 10
+	if warm > 50 {
+		warm = 50
+	}
+	for i := 0; i < warm; i++ {
+		if err := fn(i); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(i); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(iters), nil
+}
+
+func iters(quick bool, full int) int {
+	if quick {
+		if full >= 100 {
+			return full / 10
+		}
+		return full
+	}
+	return full
+}
+
+func row(cols ...any) {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprint(c)
+	}
+	fmt.Printf("  %-28s %s\n", parts[0], strings.Join(parts[1:], "  "))
+}
+
+// warmProcess exercises an engine once so the first measured
+// experiment doesn't pay the process's allocator and GC growth.
+func warmProcess() {
+	e, err := newBase()
+	if err != nil {
+		return
+	}
+	defer e.Close()
+	oids, err := workload.SeedStocks(e, 10)
+	if err != nil {
+		return
+	}
+	for i := 0; i < 1000; i++ {
+		_ = workload.UpdateOne(e, oids[i%10], float64(i))
+	}
+}
+
+func newBase() (*core.Engine, error) {
+	e, _ := workload.MustEngine()
+	if err := workload.DefineBase(e); err != nil {
+		return nil, err
+	}
+	e.RegisterCall("noop", func(*txn.Txn, map[string]datum.Value) error { return nil })
+	return e, nil
+}
+
+// --- F41 ---
+
+func expF41(quick bool) error {
+	e, err := newBase()
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	srv := server.New(e)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	app, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer app.Close()
+	var called atomic.Int64
+	if err := app.Serve(map[string]client.Handler{
+		"echo": func(args map[string]datum.Value) (map[string]datum.Value, error) {
+			called.Add(1)
+			return args, nil
+		},
+	}); err != nil {
+		return err
+	}
+	if _, err := e.CreateRule(rule.Def{
+		Name:  "callback",
+		Event: "modify(Stock)",
+		Action: []rule.Step{{Kind: rule.StepRequest, Op: "echo",
+			Args: map[string]string{"p": "event.new_price"}}},
+		EC: "immediate", CA: "immediate",
+	}); err != nil {
+		return err
+	}
+
+	tx, err := app.Begin()
+	if err != nil {
+		return err
+	}
+	oid, err := app.Create(tx, "Stock", map[string]datum.Value{"symbol": datum.Str("XRX")})
+	if err != nil {
+		return err
+	}
+	n := iters(quick, 2000)
+	per, err := measure(n, func(i int) error {
+		return app.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(float64(i))})
+	})
+	if err != nil {
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	row("module", "result")
+	row("data+txn ops over IPC", "ok")
+	row("event ops over IPC", "ok")
+	row("app-callback round trips", called.Load())
+	row("update->rule->callback", per, "per update")
+	return nil
+}
+
+// --- F42 ---
+
+func expF42(quick bool) error {
+	e, _ := workload.MustEngine()
+	defer e.Close()
+	tx := e.Begin()
+	for _, cls := range saa.Classes() {
+		if err := e.DefineClass(tx, cls); err != nil {
+			return err
+		}
+	}
+	gen := feed.New(feed.Config{Seed: 1})
+	oids := map[string]datum.OID{}
+	for _, sym := range gen.Symbols() {
+		oid, err := e.Create(tx, saa.ClassStock, map[string]datum.Value{
+			"symbol": datum.Str(sym), "price": datum.Float(50),
+		})
+		if err != nil {
+			return err
+		}
+		oids[sym] = oid
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	if err := e.DefineEvent(saa.EventTradeExecuted, saa.TradeEventParams...); err != nil {
+		return err
+	}
+	var displayed atomic.Int64
+	e.RegisterAppOperation(saa.OpDisplayQuote, func(map[string]datum.Value) (map[string]datum.Value, error) {
+		displayed.Add(1)
+		return nil, nil
+	})
+	if _, err := e.CreateRule(saa.DisplayQuoteRule("display-ticker")); err != nil {
+		return err
+	}
+	n := iters(quick, 5000)
+	per, err := measure(n, func(i int) error {
+		q := gen.Next()
+		qt := e.Begin()
+		if err := e.Modify(qt, oids[q.Symbol], map[string]datum.Value{
+			"price": datum.Float(q.Price)}); err != nil {
+			return err
+		}
+		if err := qt.Commit(); err != nil {
+			return err
+		}
+		if i%256 == 255 {
+			e.Quiesce()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	e.Quiesce()
+	row("quotes processed", n)
+	row("display requests", displayed.Load())
+	row("per quote", per)
+	row("quotes/sec", int(float64(time.Second)/float64(per)))
+	return nil
+}
+
+// --- C1 ---
+
+func expC1(quick bool) error {
+	row("E-C/C-A", "per triggering update")
+	n := iters(quick, 2000)
+	for _, ec := range []string{"immediate", "deferred", "separate"} {
+		for _, ca := range []string{"immediate", "deferred", "separate"} {
+			e, err := newBase()
+			if err != nil {
+				return err
+			}
+			oids, err := workload.SeedStocks(e, 1)
+			if err != nil {
+				return err
+			}
+			if _, err := e.CreateRule(workload.AuditRuleDef("audit", ec, ca)); err != nil {
+				return err
+			}
+			per, err := measure(n, func(i int) error {
+				return workload.UpdateOne(e, oids[0], float64(i))
+			})
+			if err != nil {
+				return err
+			}
+			e.Quiesce()
+			row(ec+"/"+ca, per)
+			e.Close()
+		}
+	}
+	return nil
+}
+
+// --- C2 ---
+
+func expC2(quick bool) error {
+	row("siblings", "concurrent", "serial-baseline")
+	const work = 200_000
+	n := iters(quick, 50)
+	for _, sib := range []int{1, 2, 4, 8, 16, 32} {
+		// Concurrent: sib rules fire as siblings.
+		e, err := newBase()
+		if err != nil {
+			return err
+		}
+		oids, _ := workload.SeedStocks(e, 1)
+		var sink atomic.Int64
+		e.RegisterCall("work", func(*txn.Txn, map[string]datum.Value) error {
+			sink.Add(workload.Spin(work))
+			return nil
+		})
+		for _, def := range workload.CallRuleDefs(sib, "work") {
+			if _, err := e.CreateRule(def); err != nil {
+				return err
+			}
+		}
+		conc, err := measure(n, func(i int) error {
+			return workload.UpdateOne(e, oids[0], float64(i))
+		})
+		if err != nil {
+			return err
+		}
+		e.Close()
+
+		// Serial baseline: one rule does sib x work.
+		e2, err := newBase()
+		if err != nil {
+			return err
+		}
+		oids2, _ := workload.SeedStocks(e2, 1)
+		sibCopy := sib
+		e2.RegisterCall("workN", func(*txn.Txn, map[string]datum.Value) error {
+			for k := 0; k < sibCopy; k++ {
+				sink.Add(workload.Spin(work))
+			}
+			return nil
+		})
+		if _, err := e2.CreateRule(rule.Def{
+			Name:   "serial",
+			Event:  "modify(Stock)",
+			Action: []rule.Step{{Kind: rule.StepCall, Fn: "workN"}},
+			EC:     "immediate", CA: "immediate",
+		}); err != nil {
+			return err
+		}
+		serial, err := measure(n, func(i int) error {
+			return workload.UpdateOne(e2, oids2[0], float64(i))
+		})
+		if err != nil {
+			return err
+		}
+		e2.Close()
+		row(fmt.Sprint(sib), conc, serial)
+	}
+	return nil
+}
+
+// --- C3 ---
+
+func expC3(quick bool) error {
+	row("depth", "per trigger", "per level")
+	n := iters(quick, 500)
+	for _, depth := range []int{1, 2, 4, 8} {
+		e, err := newBase()
+		if err != nil {
+			return err
+		}
+		first, err := workload.CascadeChain(e, depth)
+		if err != nil {
+			return err
+		}
+		per, err := measure(n, func(i int) error {
+			tx := e.Begin()
+			if _, err := e.Create(tx, first, map[string]datum.Value{"x": datum.Int(0)}); err != nil {
+				return err
+			}
+			return tx.Commit()
+		})
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprint(depth), per, per/time.Duration(depth))
+		e.Close()
+	}
+	return nil
+}
+
+// --- C4 ---
+
+func expC4(quick bool) error {
+	row("rules x overlap", "per update")
+	n := iters(quick, 100)
+	for _, rules := range []int{10, 100, 1000} {
+		// Ablation: sweep the fraction of rules sharing one condition
+		// node, from fully distinct (the naive baseline) to fully
+		// shared.
+		for _, overlap := range []float64{0.0, 0.5, 0.9, 1.0} {
+			e, err := newBase()
+			if err != nil {
+				return err
+			}
+			oids, err := workload.SeedStocks(e, 200)
+			if err != nil {
+				return err
+			}
+			for _, def := range workload.SharedConditionRules(rules, overlap) {
+				if _, err := e.CreateRule(def); err != nil {
+					return err
+				}
+			}
+			per, err := measure(n, func(i int) error {
+				return workload.UpdateOne(e, oids[i%200], float64(i))
+			})
+			if err != nil {
+				return err
+			}
+			row(fmt.Sprintf("%d @ %.0f%%", rules, overlap*100), per)
+			e.Close()
+		}
+	}
+	return nil
+}
+
+// --- C5 ---
+
+func expC5(quick bool) error {
+	row("configuration", "per update", "vs passive")
+	n := iters(quick, 3000)
+	var passive time.Duration
+	for _, cfg := range []string{"passive (0 rules)", "100 non-matching rules", "100 disabled rules"} {
+		e, err := newBase()
+		if err != nil {
+			return err
+		}
+		oids, err := workload.SeedStocks(e, 100)
+		if err != nil {
+			return err
+		}
+		switch cfg {
+		case "100 non-matching rules":
+			if err := workload.NonMatchingRules(e, 100); err != nil {
+				return err
+			}
+		case "100 disabled rules":
+			if err := workload.DisabledRules(e, 100); err != nil {
+				return err
+			}
+		}
+		per, err := measure(n, func(i int) error {
+			return workload.UpdateOne(e, oids[i%100], float64(i))
+		})
+		if err != nil {
+			return err
+		}
+		if passive == 0 {
+			passive = per
+		}
+		row(cfg, per, fmt.Sprintf("%.2fx", float64(per)/float64(passive)))
+		e.Close()
+	}
+	return nil
+}
+
+// --- C6 ---
+
+func expC6(quick bool) error {
+	row("operator", "per signal")
+	n := iters(quick, 5000)
+	for _, shape := range []struct{ name, spec string }{
+		{"primitive", "external(A)"},
+		{"or", "or(external(A), external(B))"},
+		{"seq", "seq(external(A), external(B))"},
+		{"and", "and(external(A), external(B))"},
+	} {
+		e, err := newBase()
+		if err != nil {
+			return err
+		}
+		if err := e.DefineEvent("A"); err != nil {
+			return err
+		}
+		if err := e.DefineEvent("B"); err != nil {
+			return err
+		}
+		if _, err := e.CreateRule(rule.Def{
+			Name:   "composite",
+			Event:  shape.spec,
+			Action: []rule.Step{{Kind: rule.StepCall, Fn: "noop"}},
+			EC:     "immediate", CA: "immediate",
+		}); err != nil {
+			return err
+		}
+		tx := e.Begin()
+		per, err := measure(n, func(i int) error {
+			name := "A"
+			if i%2 == 1 {
+				name = "B"
+			}
+			return e.SignalEvent(tx, name, nil)
+		})
+		if err != nil {
+			return err
+		}
+		tx.Commit()
+		row(shape.name, per)
+		e.Close()
+	}
+	return nil
+}
+
+// --- C7 ---
+
+func expC7(quick bool) error {
+	row("deferred firings", "commit latency")
+	n := iters(quick, 100)
+	for _, d := range []int{0, 1, 8, 64, 256, 1024} {
+		e, err := newBase()
+		if err != nil {
+			return err
+		}
+		oids, err := workload.SeedStocks(e, 1)
+		if err != nil {
+			return err
+		}
+		if d > 0 {
+			if _, err := e.CreateRule(workload.AuditRuleDef("audit", "deferred", "immediate")); err != nil {
+				return err
+			}
+		}
+		per, err := measure(n, func(i int) error {
+			tx := e.Begin()
+			updates := d
+			if updates == 0 {
+				updates = 1
+			}
+			for k := 0; k < updates; k++ {
+				if err := e.Modify(tx, oids[0], map[string]datum.Value{
+					"price": datum.Float(float64(k))}); err != nil {
+					return err
+				}
+			}
+			start := time.Now()
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+			_ = start
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprint(d), per)
+		e.Close()
+	}
+	return nil
+}
+
+// --- C8 ---
+
+func expC8(quick bool) error {
+	row("nesting depth", "per txn")
+	n := iters(quick, 2000)
+	for _, depth := range []int{0, 1, 2, 4, 8} {
+		e, err := newBase()
+		if err != nil {
+			return err
+		}
+		oids, err := workload.SeedStocks(e, 1)
+		if err != nil {
+			return err
+		}
+		per, err := measure(n, func(i int) error {
+			top := e.Begin()
+			cur := top
+			chain := make([]*txn.Txn, 0, depth)
+			for d := 0; d < depth; d++ {
+				c, err := cur.Child()
+				if err != nil {
+					return err
+				}
+				chain = append(chain, c)
+				cur = c
+			}
+			if err := e.Modify(cur, oids[0], map[string]datum.Value{
+				"price": datum.Float(float64(i))}); err != nil {
+				return err
+			}
+			for j := len(chain) - 1; j >= 0; j-- {
+				if err := chain[j].Commit(); err != nil {
+					return err
+				}
+			}
+			return top.Commit()
+		})
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprint(depth), per)
+		e.Close()
+	}
+	return nil
+}
+
+// --- C9 ---
+
+func expC9(quick bool) error {
+	row("rules on event", "per update")
+	n := iters(quick, 500)
+	for _, rules := range []int{1, 16, 64, 256} {
+		e, err := newBase()
+		if err != nil {
+			return err
+		}
+		oids, err := workload.SeedStocks(e, 1)
+		if err != nil {
+			return err
+		}
+		for _, def := range workload.CallRuleDefs(rules, "noop") {
+			if _, err := e.CreateRule(def); err != nil {
+				return err
+			}
+		}
+		per, err := measure(n, func(i int) error {
+			return workload.UpdateOne(e, oids[0], float64(i))
+		})
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprint(rules), per)
+		e.Close()
+	}
+	return nil
+}
+
+// --- C10 ---
+
+func expC10(quick bool) error {
+	row("disabled rules", "per update")
+	n := iters(quick, 3000)
+	for _, d := range []int{0, 10, 100, 1000} {
+		e, err := newBase()
+		if err != nil {
+			return err
+		}
+		oids, err := workload.SeedStocks(e, 1)
+		if err != nil {
+			return err
+		}
+		if err := workload.DisabledRules(e, d); err != nil {
+			return err
+		}
+		per, err := measure(n, func(i int) error {
+			return workload.UpdateOne(e, oids[0], float64(i))
+		})
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprint(d), per)
+		e.Close()
+	}
+	return nil
+}
+
+// --- C11 ---
+
+func expC11(quick bool) error {
+	row("periodic rules", "per virtual second")
+	n := iters(quick, 200)
+	for _, k := range []int{1, 16, 128} {
+		e, clk := workload.MustEngine()
+		if err := workload.DefineBase(e); err != nil {
+			return err
+		}
+		e.RegisterCall("noop", func(*txn.Txn, map[string]datum.Value) error { return nil })
+		for i := 0; i < k; i++ {
+			if _, err := e.CreateRule(rule.Def{
+				Name:   fmt.Sprintf("tick-%03d", i),
+				Event:  "every(1s)",
+				Action: []rule.Step{{Kind: rule.StepCall, Fn: "noop"}},
+				EC:     "immediate", CA: "immediate",
+			}); err != nil {
+				return err
+			}
+		}
+		per, err := measure(n, func(int) error {
+			clk.Advance(time.Second)
+			e.Quiesce()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprint(k), per)
+		e.Close()
+	}
+	return nil
+}
+
+// --- C12 ---
+
+func expC12(quick bool) error {
+	row("path", "per signal")
+	n := iters(quick, 3000)
+
+	// In-process.
+	e, err := newBase()
+	if err != nil {
+		return err
+	}
+	if err := e.DefineEvent("Ping", "n"); err != nil {
+		return err
+	}
+	if _, err := e.CreateRule(rule.Def{
+		Name:   "on-ping",
+		Event:  "external(Ping)",
+		Action: []rule.Step{{Kind: rule.StepCall, Fn: "noop"}},
+		EC:     "immediate", CA: "immediate",
+	}); err != nil {
+		return err
+	}
+	tx := e.Begin()
+	inproc, err := measure(n, func(i int) error {
+		return e.SignalEvent(tx, "Ping", map[string]datum.Value{"n": datum.Int(int64(i))})
+	})
+	if err != nil {
+		return err
+	}
+	tx.Commit()
+	row("in-process", inproc)
+	e.Close()
+
+	// Over IPC.
+	e2, err := newBase()
+	if err != nil {
+		return err
+	}
+	defer e2.Close()
+	srv := server.New(e2)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.DefineEvent("Ping", "n"); err != nil {
+		return err
+	}
+	if err := c.CreateRule(rule.Def{
+		Name:   "on-ping",
+		Event:  "external(Ping)",
+		Action: []rule.Step{{Kind: rule.StepCall, Fn: "noop"}},
+		EC:     "immediate", CA: "immediate",
+	}); err != nil {
+		return err
+	}
+	ctx, err := c.Begin()
+	if err != nil {
+		return err
+	}
+	ipcPer, err := measure(n, func(i int) error {
+		return c.SignalEvent(ctx, "Ping", map[string]datum.Value{"n": datum.Int(int64(i))})
+	})
+	if err != nil {
+		return err
+	}
+	ctx.Commit()
+	row("over IPC (TCP loopback)", ipcPer)
+	return nil
+}

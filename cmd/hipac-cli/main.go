@@ -1,0 +1,465 @@
+// Command hipac-cli is an interactive shell for a HiPAC server.
+//
+// Usage:
+//
+//	hipac-cli [-addr 127.0.0.1:4815]
+//
+// Commands (one per line):
+//
+//	begin                          start a transaction (becomes current)
+//	child                          start a subtransaction of the current one
+//	commit | abort                 finish the current transaction
+//	class <Name> <attr>:<kind>[!][*] ...   define a class (!=required, *=indexed)
+//	classes                        list classes
+//	create <Class> <attr>=<value> ...      create an object
+//	modify <#oid> <attr>=<value> ...       update an object
+//	delete <#oid>                  delete an object
+//	get <#oid>                     show an object
+//	select ...                     run a query (whole line)
+//	event <Name> [param ...]       define an external event
+//	signal <Name> <param>=<value> ...      signal an external event
+//	rule <file.json>               create a rule from a JSON definition
+//	rules                          list rules
+//	enable|disable|drop <rule>     manage a rule
+//	fire <rule> [<param>=<value> ...]      fire a rule manually
+//	help                           this text
+//	quit
+//
+// Values parse as int, float, true/false, #oid, or string.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/client"
+	"repro/internal/datum"
+	"repro/internal/object"
+	"repro/internal/rule"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4815", "server address")
+	flag.Parse()
+
+	c, err := client.Dial(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hipac-cli: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	fmt.Printf("connected to %s; 'help' for commands\n", *addr)
+
+	sh := &shell{c: c, out: os.Stdout}
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print(sh.prompt())
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			break
+		}
+		if err := sh.exec(line); err != nil {
+			fmt.Fprintf(os.Stdout, "error: %v\n", err)
+		}
+	}
+}
+
+type shell struct {
+	c   *client.Client
+	out io.Writer
+	// txnStack holds the current transaction lineage; commands that
+	// need a transaction use the top and auto-begin when empty.
+	txnStack []*client.Txn
+}
+
+func (s *shell) prompt() string {
+	if len(s.txnStack) == 0 {
+		return "hipac> "
+	}
+	return fmt.Sprintf("hipac[txn %d]> ", s.txnStack[len(s.txnStack)-1].ID)
+}
+
+func (s *shell) cur() *client.Txn {
+	if len(s.txnStack) == 0 {
+		return nil
+	}
+	return s.txnStack[len(s.txnStack)-1]
+}
+
+// withTxn returns the current transaction, or runs fn inside a
+// one-shot transaction when none is open.
+func (s *shell) withTxn(fn func(tx *client.Txn) error) error {
+	if tx := s.cur(); tx != nil {
+		return fn(tx)
+	}
+	tx, err := s.c.Begin()
+	if err != nil {
+		return err
+	}
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+func (s *shell) exec(line string) error {
+	fields := strings.Fields(line)
+	cmd := fields[0]
+	args := fields[1:]
+	switch cmd {
+	case "help":
+		fmt.Fprintln(s.out, helpText)
+		return nil
+
+	case "begin":
+		tx, err := s.c.Begin()
+		if err != nil {
+			return err
+		}
+		s.txnStack = append(s.txnStack, tx)
+		return nil
+
+	case "child":
+		tx := s.cur()
+		if tx == nil {
+			return fmt.Errorf("no open transaction")
+		}
+		child, err := tx.Child()
+		if err != nil {
+			return err
+		}
+		s.txnStack = append(s.txnStack, child)
+		return nil
+
+	case "commit", "abort":
+		tx := s.cur()
+		if tx == nil {
+			return fmt.Errorf("no open transaction")
+		}
+		s.txnStack = s.txnStack[:len(s.txnStack)-1]
+		if cmd == "commit" {
+			return tx.Commit()
+		}
+		return tx.Abort()
+
+	case "class":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: class <Name> <attr>:<kind>[!][*] ...")
+		}
+		cls := object.Class{Name: args[0]}
+		for _, spec := range args[1:] {
+			ad, err := parseAttrDef(spec)
+			if err != nil {
+				return err
+			}
+			cls.Attrs = append(cls.Attrs, ad)
+		}
+		return s.withTxn(func(tx *client.Txn) error { return s.c.DefineClass(tx, cls) })
+
+	case "classes":
+		return s.withTxn(func(tx *client.Txn) error {
+			classes, err := s.c.Classes(tx)
+			if err != nil {
+				return err
+			}
+			for _, cls := range classes {
+				var parts []string
+				for _, a := range cls.Attrs {
+					p := a.Name + ":" + a.Kind.String()
+					if a.Required {
+						p += "!"
+					}
+					if a.Indexed {
+						p += "*"
+					}
+					parts = append(parts, p)
+				}
+				fmt.Fprintf(s.out, "%-16s %s\n", cls.Name, strings.Join(parts, " "))
+			}
+			return nil
+		})
+
+	case "create":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: create <Class> <attr>=<value> ...")
+		}
+		attrs, err := parseAssignments(args[1:])
+		if err != nil {
+			return err
+		}
+		return s.withTxn(func(tx *client.Txn) error {
+			oid, err := s.c.Create(tx, args[0], attrs)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(s.out, "created %v\n", oid)
+			return nil
+		})
+
+	case "modify":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: modify <#oid> <attr>=<value> ...")
+		}
+		oid, err := parseOID(args[0])
+		if err != nil {
+			return err
+		}
+		attrs, err := parseAssignments(args[1:])
+		if err != nil {
+			return err
+		}
+		return s.withTxn(func(tx *client.Txn) error { return s.c.Modify(tx, oid, attrs) })
+
+	case "delete":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: delete <#oid>")
+		}
+		oid, err := parseOID(args[0])
+		if err != nil {
+			return err
+		}
+		return s.withTxn(func(tx *client.Txn) error { return s.c.Delete(tx, oid) })
+
+	case "get":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: get <#oid>")
+		}
+		oid, err := parseOID(args[0])
+		if err != nil {
+			return err
+		}
+		return s.withTxn(func(tx *client.Txn) error {
+			obj, err := s.c.Get(tx, oid)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(s.out, "%v %s %s\n", obj.OID, obj.Class, formatAttrs(obj.Attrs))
+			return nil
+		})
+
+	case "select":
+		return s.withTxn(func(tx *client.Txn) error {
+			res, err := s.c.Query(tx, line, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(s.out, strings.Join(res.Columns, "\t"))
+			for _, row := range res.Rows {
+				parts := make([]string, len(row))
+				for i, v := range row {
+					parts[i] = v.String()
+				}
+				fmt.Fprintln(s.out, strings.Join(parts, "\t"))
+			}
+			fmt.Fprintf(s.out, "(%d rows)\n", len(res.Rows))
+			return nil
+		})
+
+	case "event":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: event <Name> [param ...]")
+		}
+		return s.c.DefineEvent(args[0], args[1:]...)
+
+	case "signal":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: signal <Name> <param>=<value> ...")
+		}
+		sigArgs, err := parseAssignments(args[1:])
+		if err != nil {
+			return err
+		}
+		return s.c.SignalEvent(s.cur(), args[0], sigArgs)
+
+	case "rule", "replace":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: %s <file.json>", cmd)
+		}
+		raw, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		var def rule.Def
+		if err := json.Unmarshal(raw, &def); err != nil {
+			return fmt.Errorf("parse %s: %w", args[0], err)
+		}
+		if cmd == "replace" {
+			return s.c.UpdateRule(def)
+		}
+		return s.c.CreateRule(def)
+
+	case "rules":
+		rules, err := s.c.Rules()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "%-24s %-32s %-10s %-10s %s\n", "NAME", "EVENT", "E-C", "C-A", "ENABLED")
+		for _, r := range rules {
+			fmt.Fprintf(s.out, "%-24s %-32s %-10s %-10s %v\n", r.Name, r.Event, r.EC, r.CA, r.Enabled)
+		}
+		return nil
+
+	case "enable":
+		return oneArg(args, "enable <rule>", s.c.EnableRule)
+	case "disable":
+		return oneArg(args, "disable <rule>", s.c.DisableRule)
+	case "drop":
+		return oneArg(args, "drop <rule>", s.c.DeleteRule)
+
+	case "graph":
+		nodes, err := s.c.Graph()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "%-5s %-7s %-7s %s\n", "REFS", "CACHED", "EVFREE", "QUERY")
+		for _, n := range nodes {
+			fmt.Fprintf(s.out, "%-5d %-7v %-7v %s\n", n.Refs, n.Cached, n.EventFree, n.Query)
+		}
+		return nil
+
+	case "stats":
+		raw, err := s.c.Stats()
+		if err != nil {
+			return err
+		}
+		var pretty map[string]any
+		if err := json.Unmarshal(raw, &pretty); err != nil {
+			return err
+		}
+		out, _ := json.MarshalIndent(pretty, "", "  ")
+		fmt.Fprintln(s.out, string(out))
+		return nil
+
+	case "fire":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: fire <rule> [<param>=<value> ...]")
+		}
+		fireArgs, err := parseAssignments(args[1:])
+		if err != nil {
+			return err
+		}
+		return s.c.FireRule(s.cur(), args[0], fireArgs)
+
+	default:
+		return fmt.Errorf("unknown command %q; try help", cmd)
+	}
+}
+
+func oneArg(args []string, usage string, fn func(string) error) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: %s", usage)
+	}
+	return fn(args[0])
+}
+
+const helpText = `commands:
+  begin / child / commit / abort
+  class <Name> <attr>:<kind>[!][*] ...
+  classes
+  create <Class> <attr>=<value> ...
+  modify <#oid> <attr>=<value> ...
+  delete <#oid> | get <#oid>
+  select <query>
+  event <Name> [param ...]
+  signal <Name> <param>=<value> ...
+  rule <file.json> | replace <file.json> | rules
+  enable|disable|drop <rule>
+  fire <rule> [<param>=<value> ...]
+  stats | graph
+  quit`
+
+func parseAttrDef(spec string) (object.AttrDef, error) {
+	var ad object.AttrDef
+	for strings.HasSuffix(spec, "!") || strings.HasSuffix(spec, "*") {
+		if strings.HasSuffix(spec, "!") {
+			ad.Required = true
+		} else {
+			ad.Indexed = true
+		}
+		spec = spec[:len(spec)-1]
+	}
+	name, kindName, ok := strings.Cut(spec, ":")
+	if !ok {
+		return ad, fmt.Errorf("attribute %q needs name:kind", spec)
+	}
+	kind, err := datum.KindFromString(kindName)
+	if err != nil {
+		return ad, err
+	}
+	ad.Name = name
+	ad.Kind = kind
+	return ad, nil
+}
+
+func parseAssignments(args []string) (map[string]datum.Value, error) {
+	out := map[string]datum.Value{}
+	for _, a := range args {
+		name, raw, ok := strings.Cut(a, "=")
+		if !ok {
+			return nil, fmt.Errorf("expected attr=value, got %q", a)
+		}
+		out[name] = parseValue(raw)
+	}
+	return out, nil
+}
+
+func parseValue(raw string) datum.Value {
+	switch {
+	case raw == "true":
+		return datum.Bool(true)
+	case raw == "false":
+		return datum.Bool(false)
+	case raw == "null":
+		return datum.Null()
+	case strings.HasPrefix(raw, "#"):
+		if n, err := strconv.ParseUint(raw[1:], 10, 64); err == nil {
+			return datum.ID(datum.OID(n))
+		}
+	}
+	if n, err := strconv.ParseInt(raw, 10, 64); err == nil {
+		return datum.Int(n)
+	}
+	if f, err := strconv.ParseFloat(raw, 64); err == nil {
+		return datum.Float(f)
+	}
+	return datum.Str(strings.Trim(raw, `'"`))
+}
+
+func parseOID(raw string) (datum.OID, error) {
+	raw = strings.TrimPrefix(raw, "#")
+	n, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad oid %q", raw)
+	}
+	return datum.OID(n), nil
+}
+
+func formatAttrs(attrs map[string]datum.Value) string {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + attrs[k].String()
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,51 @@
+// Command hipacd runs a HiPAC active-DBMS server: an engine (with
+// optional durability directory) exposed over TCP to application
+// programs speaking the ipc protocol (see internal/client for the Go
+// client library and cmd/hipac-cli for an interactive shell).
+//
+// Usage:
+//
+//	hipacd [-addr 127.0.0.1:4815] [-dir /var/lib/hipac] [-nosync]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4815", "listen address")
+	dir := flag.String("dir", "", "durability directory (empty: in-memory)")
+	nosync := flag.Bool("nosync", false, "disable fsync on the write-ahead log")
+	flag.Parse()
+
+	eng, err := core.Open(core.Options{Dir: *dir, NoSync: *nosync})
+	if err != nil {
+		log.Fatalf("hipacd: open engine: %v", err)
+	}
+	srv := server.New(eng)
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		log.Printf("hipacd: shutting down")
+		srv.Close()
+		if err := eng.Close(); err != nil {
+			log.Printf("hipacd: close: %v", err)
+		}
+		os.Exit(0)
+	}()
+
+	fmt.Printf("hipacd: serving on %s (dir=%q)\n", *addr, *dir)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatalf("hipacd: %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+// Smoke test: build and run the real hipacd binary, connect a client,
+// exercise a durable round trip, and shut it down cleanly.
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/datum"
+	"repro/internal/object"
+)
+
+func TestHipacdEndToEnd(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "hipacd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	// Pick a free port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	dir := t.TempDir()
+	cmd := exec.Command(bin, "-addr", addr, "-dir", dir, "-nosync")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for the listener.
+	var c *client.Client
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err = client.Dial(addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DefineClass(tx, object.Class{
+		Name:  "K",
+		Attrs: []object.AttrDef{{Name: "v", Kind: datum.KindInt}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	oid, err := c.Create(tx, "K", map[string]datum.Value{"v": datum.Int(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// Graceful shutdown, then restart on the same directory: the data
+	// must have survived in the WAL.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	cmd2 := exec.Command(bin, "-addr", addr, "-dir", dir, "-nosync")
+	cmd2.Stdout = os.Stderr
+	cmd2.Stderr = os.Stderr
+	if err := cmd2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		c, err = client.Dial(addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted server never came up: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer c.Close()
+	tx2, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := c.Get(tx2, oid)
+	if err != nil || obj.Attrs["v"].AsInt() != 7 {
+		t.Fatalf("durable object after restart: %+v (%v)", obj, err)
+	}
+	tx2.Commit()
+}

@@ -1,0 +1,156 @@
+// Derived data maintained by ECA rules — another classic active-DBMS
+// capability the paper's introduction motivates ("declarative rules
+// for expressing relationships between data items"). A per-sector
+// summary object tracks how many stocks each sector holds and their
+// total value; rules keep it consistent as stocks are created,
+// repriced, and deleted. The summary is recomputed by a deferred rule
+// at commit, so a transaction that moves several stocks pays for one
+// refresh, not one per update.
+//
+//	go run ./examples/derived
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hipac "repro"
+)
+
+func main() {
+	db, err := hipac.Open(hipac.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	tx := db.Begin()
+	must(db.DefineClass(tx, hipac.Class{
+		Name: "Stock",
+		Attrs: []hipac.AttrDef{
+			{Name: "symbol", Kind: hipac.KindString, Required: true},
+			{Name: "sector", Kind: hipac.KindString, Required: true, Indexed: true},
+			{Name: "price", Kind: hipac.KindFloat},
+		},
+	}))
+	must(db.DefineClass(tx, hipac.Class{
+		Name: "SectorSummary",
+		Attrs: []hipac.AttrDef{
+			{Name: "sector", Kind: hipac.KindString, Required: true, Indexed: true},
+			{Name: "count", Kind: hipac.KindInt},
+			{Name: "total", Kind: hipac.KindFloat},
+		},
+	}))
+	must(tx.Commit())
+
+	// The refresh callback recomputes every sector's summary from the
+	// base data (materialized-view maintenance, recompute flavour).
+	db.RegisterCall("refresh-summaries", func(tx *hipac.Txn, _ map[string]hipac.Value) error {
+		sectors, err := db.Query(tx, "select s.sector as sec from Stock s", nil)
+		if err != nil {
+			return err
+		}
+		seen := map[string]bool{}
+		for i := range sectors.Rows {
+			sec := sectors.RowBindings(i)["sec"].AsString()
+			if seen[sec] {
+				continue
+			}
+			seen[sec] = true
+			agg, err := db.Query(tx,
+				"select count(*) as n, sum(s.price) as total from Stock s where s.sector = event.sec",
+				map[string]hipac.Value{"sec": hipac.Str(sec)})
+			if err != nil {
+				return err
+			}
+			n := agg.Rows[0][0]
+			total := agg.Rows[0][1]
+			existing, err := db.Query(tx,
+				"select m from SectorSummary m where m.sector = event.sec",
+				map[string]hipac.Value{"sec": hipac.Str(sec)})
+			if err != nil {
+				return err
+			}
+			if existing.Empty() {
+				_, err = db.Create(tx, "SectorSummary", map[string]hipac.Value{
+					"sector": hipac.Str(sec), "count": n, "total": hipac.Float(total.AsFloat()),
+				})
+			} else {
+				err = db.Modify(tx, existing.Rows[0][0].AsOID(), map[string]hipac.Value{
+					"count": n, "total": hipac.Float(total.AsFloat()),
+				})
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	// One deferred rule per data operation kind keeps the summary
+	// fresh as of each commit. The event spec is DERIVED from the
+	// condition when omitted; here we give it explicitly to cover
+	// create, modify, and delete.
+	_, err = db.CreateRule(hipac.RuleDef{
+		Name:   "maintain-sector-summaries",
+		Event:  "or(create(Stock), modify(Stock), delete(Stock))",
+		Action: []hipac.Step{{Kind: hipac.StepCall, Fn: "refresh-summaries"}},
+		EC:     "deferred", CA: "immediate",
+	})
+	must(err)
+
+	// Load a portfolio in one transaction: the summary refresh runs
+	// once per queued firing at commit, against the final state.
+	load := db.Begin()
+	stocks := []struct {
+		sym, sector string
+		price       float64
+	}{
+		{"XRX", "tech", 50}, {"IBM", "tech", 120}, {"DEC", "tech", 30},
+		{"GM", "auto", 45}, {"F", "auto", 12},
+	}
+	oids := map[string]hipac.OID{}
+	for _, s := range stocks {
+		oid, err := db.Create(load, "Stock", map[string]hipac.Value{
+			"symbol": hipac.Str(s.sym), "sector": hipac.Str(s.sector), "price": hipac.Float(s.price),
+		})
+		must(err)
+		oids[s.sym] = oid
+	}
+	must(load.Commit())
+	printSummaries(db, "after loading 5 stocks")
+
+	// Reprice tech in one transaction.
+	reprice := db.Begin()
+	must(db.Modify(reprice, oids["XRX"], map[string]hipac.Value{"price": hipac.Float(55)}))
+	must(db.Modify(reprice, oids["IBM"], map[string]hipac.Value{"price": hipac.Float(125)}))
+	must(reprice.Commit())
+	printSummaries(db, "after repricing XRX and IBM")
+
+	// Delete a stock.
+	del := db.Begin()
+	must(db.Delete(del, oids["F"]))
+	must(del.Commit())
+	printSummaries(db, "after deleting F")
+}
+
+func printSummaries(db *hipac.Engine, title string) {
+	tx := db.Begin()
+	defer tx.Commit()
+	res, err := db.Query(tx,
+		"select m.sector as sec, m.count as n, m.total as total from SectorSummary m", nil)
+	must(err)
+	fmt.Printf("%s:\n", title)
+	for i := range res.Rows {
+		b := res.RowBindings(i)
+		fmt.Printf("  %-6s count=%d total=%.2f\n",
+			b["sec"].AsString(), b["n"].AsInt(), b["total"].AsFloat())
+	}
+	fmt.Println()
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

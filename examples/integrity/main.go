@@ -1,0 +1,127 @@
+// Integrity constraints as ECA rules — the use-case the paper traces
+// back to System R's triggers and assertions (§1). Two patterns:
+//
+//   - an IMMEDIATE rule that rejects a single bad operation the moment
+//     it happens (the operation fails; the application aborts), and
+//
+//   - a DEFERRED rule that checks a multi-operation invariant at
+//     commit (transfers may be momentarily unbalanced inside the
+//     transaction, but the books must balance at the end) and aborts
+//     the commit if violated.
+//
+//     go run ./examples/integrity
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	hipac "repro"
+)
+
+func main() {
+	db, err := hipac.Open(hipac.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	tx := db.Begin()
+	must(db.DefineClass(tx, hipac.Class{
+		Name: "Account",
+		Attrs: []hipac.AttrDef{
+			{Name: "owner", Kind: hipac.KindString, Required: true},
+			{Name: "balance", Kind: hipac.KindInt, Required: true},
+		},
+	}))
+	alice, err := db.Create(tx, "Account", map[string]hipac.Value{
+		"owner": hipac.Str("alice"), "balance": hipac.Int(100),
+	})
+	must(err)
+	bob, err := db.Create(tx, "Account", map[string]hipac.Value{
+		"owner": hipac.Str("bob"), "balance": hipac.Int(100),
+	})
+	must(err)
+	must(tx.Commit())
+
+	// Constraint 1 (immediate): no account may go negative. The rule
+	// fires inside the triggering operation; its abort action makes
+	// the operation itself fail.
+	_, err = db.CreateRule(hipac.RuleDef{
+		Name:      "no-overdrafts",
+		Event:     "modify(Account)",
+		Condition: []string{"select a from Account a where a = event.oid and event.new_balance < 0"},
+		Action:    []hipac.Step{{Kind: hipac.StepAbort}},
+		EC:        "immediate", CA: "immediate",
+	})
+	must(err)
+
+	// Constraint 2 (deferred): total money is conserved. Checked once
+	// per event at commit, against the final state, via a call step
+	// that errors when the invariant is broken — which aborts the
+	// commit.
+	db.RegisterCall("check-conservation", func(tx *hipac.Txn, _ map[string]hipac.Value) error {
+		res, err := db.Query(tx, "select sum(a.balance) as total from Account a", nil)
+		if err != nil {
+			return err
+		}
+		if got := res.Rows[0][0].AsInt(); got != 200 {
+			return fmt.Errorf("conservation violated: total = %d, want 200", got)
+		}
+		return nil
+	})
+	_, err = db.CreateRule(hipac.RuleDef{
+		Name:   "books-balance",
+		Event:  "modify(Account)",
+		Action: []hipac.Step{{Kind: hipac.StepCall, Fn: "check-conservation"}},
+		EC:     "deferred", CA: "immediate",
+	})
+	must(err)
+
+	// --- exercise constraint 1 ---
+	fmt.Println("attempting an overdraft (alice -= 150):")
+	t1 := db.Begin()
+	err = db.Modify(t1, alice, map[string]hipac.Value{"balance": hipac.Int(-50)})
+	if errors.Is(err, hipac.AbortRequested) {
+		fmt.Printf("  rejected immediately: %v\n", err)
+	} else {
+		fmt.Printf("  UNEXPECTED: %v\n", err)
+	}
+	t1.Abort()
+
+	// --- exercise constraint 2 ---
+	fmt.Println("\nattempting an unbalanced transfer (alice -= 30, bob += 20):")
+	t2 := db.Begin()
+	must(db.Modify(t2, alice, map[string]hipac.Value{"balance": hipac.Int(70)}))
+	must(db.Modify(t2, bob, map[string]hipac.Value{"balance": hipac.Int(120)}))
+	if err := t2.Commit(); err != nil {
+		fmt.Printf("  commit refused: %v\n", err)
+	}
+
+	fmt.Println("\na balanced transfer (alice -= 30, bob += 30):")
+	t3 := db.Begin()
+	must(db.Modify(t3, alice, map[string]hipac.Value{"balance": hipac.Int(70)}))
+	must(db.Modify(t3, bob, map[string]hipac.Value{"balance": hipac.Int(130)}))
+	if err := t3.Commit(); err != nil {
+		fmt.Printf("  UNEXPECTED refusal: %v\n", err)
+	} else {
+		fmt.Println("  committed")
+	}
+
+	// --- final state ---
+	t4 := db.Begin()
+	defer t4.Commit()
+	res, err := db.Query(t4, "select a.owner, a.balance from Account a", nil)
+	must(err)
+	fmt.Println("\nfinal balances:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %s: %s\n", row[0], row[1])
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

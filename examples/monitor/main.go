@@ -1,0 +1,113 @@
+// Alerters on temporal and composite events — the monitoring use-case
+// of §2.1: absolute events ("at 09:30"), periodic events ("every
+// minute"), relative events anchored on other events ("30 seconds
+// after the market opens"), and a sequence composite ("an order
+// placed and THEN cancelled"). Runs on a virtual clock so the demo is
+// instant and deterministic.
+//
+//	go run ./examples/monitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	hipac "repro"
+)
+
+func main() {
+	epoch := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	clk := hipac.NewVirtualClock(epoch)
+	db, err := hipac.Open(hipac.Options{Clock: clk})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	say := func(tag string) hipac.CallFunc {
+		return func(_ *hipac.Txn, b map[string]hipac.Value) error {
+			// Temporal signals carry the instant they fired at; other
+			// events print the current virtual time.
+			at := clk.Now()
+			if t, ok := b["time"]; ok {
+				at = t.AsTime()
+			}
+			fmt.Printf("  %s  %s\n", at.UTC().Format("15:04:05"), tag)
+			return nil
+		}
+	}
+	db.RegisterCall("opening-bell", say("opening bell: market is open"))
+	db.RegisterCall("minute-tick", say("periodic health check"))
+	db.RegisterCall("post-open", say("30s after open: liquidity check"))
+	db.RegisterCall("cancel-watch", say("ALERT: order placed and then cancelled"))
+
+	must(db.DefineEvent("MarketOpen"))
+	must(db.DefineEvent("OrderPlaced", "id"))
+	must(db.DefineEvent("OrderCancelled", "id"))
+
+	// Absolute: at 09:30 sharp.
+	_, err = db.CreateRule(hipac.RuleDef{
+		Name:   "opening-bell",
+		Event:  "at(2026-07-06T09:30:00Z)",
+		Action: []hipac.Step{{Kind: hipac.StepCall, Fn: "opening-bell"}},
+	})
+	must(err)
+
+	// Periodic: every 10 minutes.
+	_, err = db.CreateRule(hipac.RuleDef{
+		Name:   "health-check",
+		Event:  "every(10m)",
+		Action: []hipac.Step{{Kind: hipac.StepCall, Fn: "minute-tick"}},
+	})
+	must(err)
+
+	// Relative with a baseline event: 30s after MarketOpen is
+	// signalled.
+	_, err = db.CreateRule(hipac.RuleDef{
+		Name:   "post-open-check",
+		Event:  "after(external(MarketOpen), 30s)",
+		Action: []hipac.Step{{Kind: hipac.StepCall, Fn: "post-open"}},
+	})
+	must(err)
+
+	// Sequence composite: an order placed and then cancelled.
+	_, err = db.CreateRule(hipac.RuleDef{
+		Name:   "cancel-after-place",
+		Event:  "seq(external(OrderPlaced), external(OrderCancelled))",
+		Action: []hipac.Step{{Kind: hipac.StepCall, Fn: "cancel-watch"}},
+	})
+	must(err)
+
+	fmt.Println("simulated trading morning (virtual clock):")
+
+	// 09:00 -> 09:30: health checks, then the bell. Stepping the
+	// clock minute by minute (quiescing between steps) keeps the
+	// asynchronous firings in order for the printout.
+	step := func(minutes int) {
+		for i := 0; i < minutes; i++ {
+			clk.Advance(time.Minute)
+			db.Quiesce()
+		}
+	}
+	step(30)
+
+	// The exchange signals the open; the relative rule arms.
+	must(db.SignalEvent(nil, "MarketOpen", nil))
+	step(1)
+
+	// Orders flow; one is cancelled after being placed.
+	must(db.SignalEvent(nil, "OrderPlaced", map[string]hipac.Value{"id": hipac.Int(1)}))
+	must(db.SignalEvent(nil, "OrderCancelled", map[string]hipac.Value{"id": hipac.Int(1)}))
+	db.Quiesce()
+
+	// The rest of the hour.
+	step(29)
+	fmt.Println("done (simulated 10:00)")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+// Quickstart: open an active database, define a class, attach an ECA
+// rule, and watch it fire when data changes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hipac "repro"
+)
+
+func main() {
+	db, err := hipac.Open(hipac.Options{}) // in-memory
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// 1. Define a schema (operations on data, inside a transaction).
+	tx := db.Begin()
+	must(db.DefineClass(tx, hipac.Class{
+		Name: "Stock",
+		Attrs: []hipac.AttrDef{
+			{Name: "symbol", Kind: hipac.KindString, Required: true},
+			{Name: "price", Kind: hipac.KindFloat, Indexed: true},
+		},
+	}))
+	must(db.DefineClass(tx, hipac.Class{
+		Name: "Alert",
+		Attrs: []hipac.AttrDef{
+			{Name: "symbol", Kind: hipac.KindString},
+			{Name: "price", Kind: hipac.KindFloat},
+		},
+	}))
+	xrx, err := db.Create(tx, "Stock", map[string]hipac.Value{
+		"symbol": hipac.Str("XRX"), "price": hipac.Float(48),
+	})
+	must(err)
+	must(tx.Commit())
+
+	// 2. Create an ECA rule: when a Stock is modified and its new
+	// price is at least 50, record an Alert — immediately, in a
+	// subtransaction of the triggering transaction.
+	_, err = db.CreateRule(hipac.RuleDef{
+		Name:      "alert-at-50",
+		Event:     "modify(Stock)",
+		Condition: []string{"select s.symbol as sym from Stock s where s = event.oid and event.new_price >= 50"},
+		Action: []hipac.Step{{
+			Kind: hipac.StepCreate, Class: "Alert",
+			Attrs: map[string]string{"symbol": "sym", "price": "event.new_price"},
+		}},
+		EC: "immediate", CA: "immediate",
+	})
+	must(err)
+
+	// 3. Update data; the rule fires (or not) as part of the update.
+	for _, price := range []float64{49, 50.25, 51.5} {
+		tx := db.Begin()
+		must(db.Modify(tx, xrx, map[string]hipac.Value{"price": hipac.Float(price)}))
+		must(tx.Commit())
+		fmt.Printf("updated XRX to %.2f\n", price)
+	}
+
+	// 4. The alerts are ordinary data.
+	tx = db.Begin()
+	defer tx.Commit()
+	res, err := db.Query(tx, "select a.symbol, a.price from Alert a", nil)
+	must(err)
+	fmt.Printf("\n%d alert(s):\n", len(res.Rows))
+	for _, row := range res.Rows {
+		fmt.Printf("  %s at %s\n", row[0], row[1])
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

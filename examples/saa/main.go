@@ -1,0 +1,169 @@
+// The Securities Analyst's Assistant (§4.2 of the paper, Figure 4.2):
+// three application programs — Ticker, Display, Trader — connected to
+// a HiPAC server over IPC, interacting only through ECA rule firings.
+// The control logic lives in the rules, not in the programs.
+//
+//	go run ./examples/saa [-quotes 40] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/datum"
+	"repro/internal/feed"
+	"repro/internal/saa"
+	"repro/internal/server"
+)
+
+func main() {
+	quotes := flag.Int("quotes", 150, "number of quotes to replay")
+	seed := flag.Int64("seed", 1, "feed seed")
+	flag.Parse()
+
+	// --- the DBMS: a HiPAC server ---
+	eng, err := core.Open(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	srv := server.New(eng)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+	fmt.Printf("HiPAC serving on %s\n\n", addr)
+
+	// --- setup: schema, portfolio, event, rules ---
+	setup := dial(addr)
+	defer setup.Close()
+	tx := begin(setup)
+	for _, cls := range saa.Classes() {
+		must(setup.DefineClass(tx, cls))
+	}
+	gen := feed.New(feed.Config{Seed: *seed, InitialPrice: 48, Volatility: 0.03})
+	stockOIDs := map[string]datum.OID{}
+	for _, sym := range gen.Symbols() {
+		oid, err := setup.Create(tx, saa.ClassStock, map[string]datum.Value{
+			"symbol": datum.Str(sym), "price": datum.Float(48),
+		})
+		must(err)
+		stockOIDs[sym] = oid
+	}
+	holding, err := setup.Create(tx, saa.ClassHolding, map[string]datum.Value{
+		"owner": datum.Str("clientA"), "symbol": datum.Str("XRX"), "qty": datum.Int(0),
+	})
+	must(err)
+	must(tx.Commit())
+	must(setup.DefineEvent(saa.EventTradeExecuted, saa.TradeEventParams...))
+
+	// The paper's rules: display every quote; buy 500 XRX for
+	// clientA when the price reaches 50; apply and display trades.
+	must(setup.CreateRule(saa.DisplayQuoteRule("display-ticker")))
+	must(setup.CreateRule(saa.BuyAtRule("buy-500-XRX-at-50", "clientA", "XRX", 500, 50)))
+	must(setup.CreateRule(saa.PortfolioUpdateRule("portfolio-update")))
+	must(setup.CreateRule(saa.DisplayTradeRule("display-trade")))
+
+	// --- Display program ---
+	display := dial(addr)
+	defer display.Close()
+	must(display.Serve(map[string]client.Handler{
+		saa.OpDisplayQuote: func(args map[string]datum.Value) (map[string]datum.Value, error) {
+			fmt.Printf("  [display]  %-4s %8.2f\n",
+				args["symbol"].AsString(), args["price"].AsFloat())
+			return nil, nil
+		},
+		saa.OpDisplayTrade: func(args map[string]datum.Value) (map[string]datum.Value, error) {
+			fmt.Printf("  [display]  TRADE %s bought %d %s at %.2f\n",
+				args["owner"].AsString(), args["qty"].AsInt(),
+				args["symbol"].AsString(), args["price"].AsFloat())
+			return nil, nil
+		},
+	}))
+
+	// --- Trader program ---
+	trader := dial(addr)
+	defer trader.Close()
+	var traded atomic.Bool
+	must(trader.Serve(map[string]client.Handler{
+		saa.OpExecuteTrade: func(args map[string]datum.Value) (map[string]datum.Value, error) {
+			if !traded.CompareAndSwap(false, true) {
+				return map[string]datum.Value{"status": datum.Str("duplicate-ignored")}, nil
+			}
+			fmt.Printf("  [trader]   executing: %d %s for %s at %.2f\n",
+				args["qty"].AsInt(), args["symbol"].AsString(),
+				args["owner"].AsString(), args["price"].AsFloat())
+			go func() {
+				// Disable the standing order, then report the fill.
+				if err := trader.DisableRule("buy-500-XRX-at-50"); err != nil {
+					log.Printf("trader: disable: %v", err)
+				}
+				ttx, err := trader.Begin()
+				if err != nil {
+					return
+				}
+				if err := trader.SignalEvent(ttx, saa.EventTradeExecuted, args); err != nil {
+					ttx.Abort()
+					log.Printf("trader: signal: %v", err)
+					return
+				}
+				ttx.Commit()
+			}()
+			return map[string]datum.Value{"status": datum.Str("sent")}, nil
+		},
+	}))
+
+	// --- Ticker program: replay the wire ---
+	ticker := dial(addr)
+	defer ticker.Close()
+	fmt.Printf("replaying %d quotes...\n", *quotes)
+	for i := 0; i < *quotes; i++ {
+		q := gen.Next()
+		qt := begin(ticker)
+		must(ticker.Modify(qt, stockOIDs[q.Symbol], map[string]datum.Value{
+			"price": datum.Float(q.Price),
+		}))
+		must(qt.Commit())
+	}
+
+	// Let asynchronous rule firings drain, then show the portfolio.
+	time.Sleep(300 * time.Millisecond)
+	eng.Quiesce()
+	final := begin(setup)
+	obj, err := setup.Get(final, holding)
+	must(err)
+	final.Commit()
+	fmt.Printf("\nportfolio of clientA: %d XRX\n", obj.Attrs["qty"].AsInt())
+	fmt.Println("note: no program ever called another — all flow went through rules")
+}
+
+func dial(addr string) *client.Client {
+	c, err := client.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func begin(c *client.Client) *client.Txn {
+	tx, err := c.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tx
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

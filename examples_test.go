@@ -1,0 +1,87 @@
+package hipac_test
+
+// Smoke tests: every runnable example must build, run to completion,
+// and print its expected landmark output. These run the real binaries
+// via `go run`, exactly as the README instructs.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runExample(t *testing.T, path string, args ...string) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	cmd := exec.Command("go", append([]string{"run", path}, args...)...)
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		out, err = cmd.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("%s: timed out", path)
+	}
+	if err != nil {
+		t.Fatalf("%s: %v\n%s", path, err, out)
+	}
+	return string(out)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	out := runExample(t, "./examples/quickstart")
+	if !strings.Contains(out, "2 alert(s)") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestExampleSAA(t *testing.T) {
+	out := runExample(t, "./examples/saa", "-quotes", "150", "-seed", "1")
+	for _, want := range []string{"[display]", "executing: 500 XRX", "portfolio of clientA: 500 XRX"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleIntegrity(t *testing.T) {
+	out := runExample(t, "./examples/integrity")
+	for _, want := range []string{"rejected immediately", "commit refused", "committed",
+		`"alice": 70`, `"bob": 130`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleDerived(t *testing.T) {
+	out := runExample(t, "./examples/derived")
+	for _, want := range []string{"tech   count=3 total=200.00", "tech   count=3 total=210.00",
+		"auto   count=1 total=45.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleMonitor(t *testing.T) {
+	out := runExample(t, "./examples/monitor")
+	for _, want := range []string{"opening bell", "30s after open", "ALERT: order placed and then cancelled",
+		"done (simulated 10:00)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The periodic rule fired six times across the simulated hour.
+	if got := strings.Count(out, "periodic health check"); got != 6 {
+		t.Fatalf("periodic fired %d times, want 6:\n%s", got, out)
+	}
+}

@@ -1,0 +1,173 @@
+// Package hipac is a Go reproduction of HiPAC, the active DBMS of
+// McCarthy & Dayal, "The Architecture of an Active Data Base
+// Management System" (SIGMOD 1989).
+//
+// An active DBMS executes user-specified actions automatically when
+// specified conditions arise. HiPAC expresses this with
+// Event-Condition-Action (ECA) rules: when the event occurs, evaluate
+// the condition; if it is satisfied, execute the action — with
+// coupling modes (immediate, deferred, separate) controlling how the
+// condition and action relate to the triggering transaction in a
+// nested transaction model.
+//
+// Quick start:
+//
+//	db, _ := hipac.Open(hipac.Options{})
+//	defer db.Close()
+//
+//	tx := db.Begin()
+//	db.DefineClass(tx, hipac.Class{
+//	    Name: "Stock",
+//	    Attrs: []hipac.AttrDef{
+//	        {Name: "symbol", Kind: hipac.KindString, Required: true},
+//	        {Name: "price", Kind: hipac.KindFloat, Indexed: true},
+//	    },
+//	})
+//	tx.Commit()
+//
+//	db.CreateRule(hipac.RuleDef{
+//	    Name:      "buy-xerox-at-50",
+//	    Event:     "modify(Stock)",
+//	    Condition: []string{"select s from Stock s where s.symbol = 'XRX' and event.new_price >= 50"},
+//	    Action: []hipac.Step{{
+//	        Kind: hipac.StepRequest, Op: "buy",
+//	        Args: map[string]string{"symbol": "'XRX'", "qty": "500"},
+//	    }},
+//	    EC: "separate", CA: "immediate",
+//	})
+//
+// The package re-exports the engine assembled in internal/core; see
+// DESIGN.md for the architecture and the per-experiment index.
+package hipac
+
+import (
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/datum"
+	"repro/internal/object"
+	"repro/internal/rule"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// Engine is an active DBMS instance.
+type Engine = core.Engine
+
+// Options configures Open.
+type Options = core.Options
+
+// Open creates or reopens an engine. With an empty Options.Dir the
+// database is in-memory; otherwise the directory holds the write-ahead
+// log and checkpoint snapshot.
+func Open(opts Options) (*Engine, error) { return core.Open(opts) }
+
+// Txn is a (top-level or nested) transaction. Begin one with
+// Engine.Begin; create subtransactions with Txn.Child.
+type Txn = txn.Txn
+
+// Class defines an object class (type).
+type Class = object.Class
+
+// AttrDef declares one attribute of a class.
+type AttrDef = object.AttrDef
+
+// Record is an object's state: OID, class, and attribute values.
+type Record = storage.Record
+
+// OID identifies an object.
+type OID = datum.OID
+
+// Value is a typed attribute value.
+type Value = datum.Value
+
+// Attribute value constructors.
+var (
+	// Int makes an integer value.
+	Int = datum.Int
+	// Float makes a floating-point value.
+	Float = datum.Float
+	// Str makes a string value.
+	Str = datum.Str
+	// Bool makes a boolean value.
+	Bool = datum.Bool
+	// TimeVal makes a time value.
+	TimeVal = datum.Time
+	// Null makes the null value.
+	Null = datum.Null
+	// ID makes an object-identifier value.
+	ID = datum.ID
+	// List makes a list value.
+	List = datum.List
+)
+
+// Value kinds for schema definitions.
+const (
+	KindBool   = datum.KindBool
+	KindInt    = datum.KindInt
+	KindFloat  = datum.KindFloat
+	KindString = datum.KindString
+	KindTime   = datum.KindTime
+	KindOID    = datum.KindOID
+	KindList   = datum.KindList
+)
+
+// RuleDef is the definition of an ECA rule: the event (in the text
+// syntax, e.g. "modify(Stock)", "external(Trade)", "every(5s)",
+// "seq(a, b)"), the condition (a collection of queries, all of which
+// must be non-empty), the action (a sequence of steps), and the E-C
+// and C-A coupling modes ("immediate", "deferred", "separate").
+type RuleDef = rule.Def
+
+// Step is one action step.
+type Step = rule.Step
+
+// Rule is a compiled, registered rule.
+type Rule = rule.Rule
+
+// Action step kinds.
+const (
+	// StepCreate creates an object of Step.Class with attributes
+	// computed from Step.Attrs expressions.
+	StepCreate = rule.StepCreate
+	// StepModify updates the object named by the Step.Target
+	// expression.
+	StepModify = rule.StepModify
+	// StepDelete deletes the object named by the Step.Target
+	// expression.
+	StepDelete = rule.StepDelete
+	// StepSignal signals the external event Step.Event with arguments
+	// from Step.Args.
+	StepSignal = rule.StepSignal
+	// StepRequest sends a request to the application operation
+	// Step.Op (the §4.1 role reversal).
+	StepRequest = rule.StepRequest
+	// StepCall invokes the Go callback registered under Step.Fn.
+	StepCall = rule.StepCall
+	// StepAbort makes the firing — and thereby the triggering
+	// operation — fail, for constraint enforcement.
+	StepAbort = rule.StepAbort
+)
+
+// AbortRequested is the error surfaced to a triggering operation when
+// a rule action executed an abort step.
+var AbortRequested = rule.AbortRequested
+
+// AppHandler serves an application operation that rule actions may
+// request.
+type AppHandler = core.AppHandler
+
+// CallFunc is a registered Go callback for StepCall action steps.
+type CallFunc = rule.CallFunc
+
+// Clock abstracts time for temporal events.
+type Clock = clock.Clock
+
+// NewVirtualClock returns a manually advanced clock for tests and
+// deterministic runs.
+var NewVirtualClock = clock.NewVirtual
+
+// RealClock returns the wall clock.
+var RealClock = clock.Real
+
+// Stats aggregates engine counters.
+type Stats = core.Stats

@@ -1,0 +1,309 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datum"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if got := tr.Get("x"); got != nil {
+		t.Fatalf("Get on empty = %v", got)
+	}
+	if tr.Delete("x", 1) {
+		t.Fatal("Delete on empty should be false")
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	tr := New()
+	if !tr.Insert("b", 2) || !tr.Insert("a", 1) || !tr.Insert("c", 3) {
+		t.Fatal("fresh inserts should report true")
+	}
+	if tr.Insert("b", 2) {
+		t.Fatal("duplicate pair insert should report false")
+	}
+	if !tr.Insert("b", 5) {
+		t.Fatal("same key, new oid should report true")
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if got := tr.Get("b"); len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("Get(b) = %v", got)
+	}
+	if got := tr.Get("missing"); got != nil {
+		t.Fatalf("Get(missing) = %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	tr.Insert("k", 1)
+	tr.Insert("k", 2)
+	if !tr.Delete("k", 1) {
+		t.Fatal("Delete existing should be true")
+	}
+	if tr.Delete("k", 1) {
+		t.Fatal("double Delete should be false")
+	}
+	if got := tr.Get("k"); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Get after delete = %v", got)
+	}
+	if !tr.Delete("k", 2) {
+		t.Fatal("Delete last should be true")
+	}
+	if tr.Get("k") != nil {
+		t.Fatal("key should vanish when its set empties")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestSplitGrowth(t *testing.T) {
+	tr := New()
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		tr.Insert(fmt.Sprintf("key%06d", i), datum.OID(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Depth() < 3 {
+		t.Fatalf("tree with %d keys should have split; depth = %d", n, tr.Depth())
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	for i := 0; i < n; i += 997 {
+		key := fmt.Sprintf("key%06d", i)
+		if got := tr.Get(key); len(got) != 1 || got[0] != datum.OID(i) {
+			t.Fatalf("Get(%s) = %v", key, got)
+		}
+	}
+}
+
+func TestScanFullOrder(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(7))
+	want := make([]string, 0, 500)
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%04d", rng.Intn(10_000))
+		if tr.Insert(k, datum.OID(i)) {
+		}
+		want = append(want, k)
+	}
+	var got []string
+	tr.Scan(Open(), Open(), func(k string, _ datum.OID) bool {
+		got = append(got, k)
+		return true
+	})
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("scan visited %d pairs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scan order diverges at %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanBounds(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Insert(fmt.Sprintf("%02d", i), datum.OID(i))
+	}
+	collect := func(lo, hi Bound) []string {
+		var out []string
+		tr.Scan(lo, hi, func(k string, _ datum.OID) bool {
+			out = append(out, k)
+			return true
+		})
+		return out
+	}
+	if got := collect(Include("03"), Include("06")); fmt.Sprint(got) != "[03 04 05 06]" {
+		t.Fatalf("inclusive range = %v", got)
+	}
+	if got := collect(Exclude("03"), Exclude("06")); fmt.Sprint(got) != "[04 05]" {
+		t.Fatalf("exclusive range = %v", got)
+	}
+	if got := collect(Include("07"), Open()); fmt.Sprint(got) != "[07 08 09]" {
+		t.Fatalf("lo-only = %v", got)
+	}
+	if got := collect(Open(), Exclude("02")); fmt.Sprint(got) != "[00 01]" {
+		t.Fatalf("hi-only = %v", got)
+	}
+	if got := collect(Include("20"), Open()); len(got) != 0 {
+		t.Fatalf("out-of-range scan = %v", got)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(fmt.Sprintf("%03d", i), datum.OID(i))
+	}
+	n := 0
+	tr.Scan(Open(), Open(), func(string, datum.OID) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("visited %d, want 5", n)
+	}
+}
+
+func TestKeysDistinct(t *testing.T) {
+	tr := New()
+	tr.Insert("a", 1)
+	tr.Insert("a", 2)
+	tr.Insert("b", 3)
+	if got := tr.Keys(); fmt.Sprint(got) != "[a b]" {
+		t.Fatalf("Keys = %v", got)
+	}
+}
+
+// TestRandomizedAgainstModel drives the tree with a random workload
+// and compares against a map-based model, checking invariants along
+// the way.
+func TestRandomizedAgainstModel(t *testing.T) {
+	tr := New()
+	model := map[string]map[datum.OID]bool{}
+	modelLen := 0
+	rng := rand.New(rand.NewSource(42))
+	key := func() string { return fmt.Sprintf("k%03d", rng.Intn(200)) }
+	oid := func() datum.OID { return datum.OID(rng.Intn(50)) }
+	for step := 0; step < 20_000; step++ {
+		k, o := key(), oid()
+		switch rng.Intn(3) {
+		case 0, 1: // insert twice as often as delete
+			got := tr.Insert(k, o)
+			want := !model[k][o]
+			if got != want {
+				t.Fatalf("step %d: Insert(%s,%d) = %v, want %v", step, k, o, got, want)
+			}
+			if model[k] == nil {
+				model[k] = map[datum.OID]bool{}
+			}
+			if !model[k][o] {
+				model[k][o] = true
+				modelLen++
+			}
+		case 2:
+			got := tr.Delete(k, o)
+			want := model[k][o]
+			if got != want {
+				t.Fatalf("step %d: Delete(%s,%d) = %v, want %v", step, k, o, got, want)
+			}
+			if model[k][o] {
+				delete(model[k], o)
+				modelLen--
+			}
+		}
+		if tr.Len() != modelLen {
+			t.Fatalf("step %d: Len = %d, model %d", step, tr.Len(), modelLen)
+		}
+		if step%2000 == 0 {
+			if msg := tr.CheckInvariants(); msg != "" {
+				t.Fatalf("step %d: %s", step, msg)
+			}
+		}
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	// Final full comparison.
+	for k, set := range model {
+		got := tr.Get(k)
+		if len(got) != len(set) {
+			t.Fatalf("key %s: got %d oids, model %d", k, len(got), len(set))
+		}
+		for _, o := range got {
+			if !set[o] {
+				t.Fatalf("key %s: oid %d not in model", k, o)
+			}
+		}
+	}
+}
+
+func TestQuickInsertedIsFound(t *testing.T) {
+	f := func(keys []string) bool {
+		tr := New()
+		for i, k := range keys {
+			tr.Insert(k, datum.OID(i))
+		}
+		for i, k := range keys {
+			found := false
+			for _, o := range tr.Get(k) {
+				if o == datum.OID(i) {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickScanSorted(t *testing.T) {
+	f := func(keys []string) bool {
+		tr := New()
+		for i, k := range keys {
+			tr.Insert(k, datum.OID(i))
+		}
+		prev := ""
+		ok := true
+		first := true
+		tr.Scan(Open(), Open(), func(k string, _ datum.OID) bool {
+			if !first && k < prev {
+				ok = false
+				return false
+			}
+			prev, first = k, false
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(fmt.Sprintf("key%09d", i), datum.OID(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		tr.Insert(fmt.Sprintf("key%09d", i), datum.OID(i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(fmt.Sprintf("key%09d", i%n))
+	}
+}

@@ -1,0 +1,7 @@
+package btree
+
+// CheckInvariants exposes the structural invariant checker to tests.
+func (t *Tree) CheckInvariants() string { return t.checkInvariants() }
+
+// Depth exposes the tree height to tests.
+func (t *Tree) Depth() int { return t.depth() }

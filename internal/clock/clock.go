@@ -1,0 +1,179 @@
+// Package clock abstracts time for the temporal event detector. The
+// production engine runs on the wall clock; tests and deterministic
+// experiments run on a virtual clock that only advances when told to,
+// so that "fire this rule at 09:30" is testable without sleeping.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and timer wake-ups.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// AfterFunc arranges for f to run (on its own goroutine for the
+	// real clock; synchronously inside Advance for the virtual clock)
+	// once the clock reaches or passes d from now. The returned Timer
+	// can cancel the wake-up.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is a cancellable pending wake-up.
+type Timer interface {
+	// Stop cancels the wake-up. It reports whether the call prevented
+	// the function from running.
+	Stop() bool
+}
+
+// Real returns a Clock backed by the system wall clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) Stop() bool { return t.t.Stop() }
+
+// Virtual is a manually advanced Clock for tests. The zero value is
+// not usable; create one with NewVirtual.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	pending timerHeap
+	seq     uint64
+}
+
+// NewVirtual returns a virtual clock positioned at start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now returns the virtual current time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// AfterFunc schedules f for the virtual instant now+d. If d <= 0 the
+// function runs on the next Advance (or immediately on Advance(0)).
+func (v *Virtual) AfterFunc(d time.Duration, f func()) Timer {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	t := &virtualTimer{clock: v, when: v.now.Add(d), fn: f, seq: v.seq}
+	v.seq++
+	heap.Push(&v.pending, t)
+	return t
+}
+
+// Advance moves the virtual clock forward by d, running every timer
+// whose deadline is reached, in deadline order. Timer functions run
+// synchronously on the caller's goroutine with the clock set to the
+// timer's deadline, so periodic reschedules land at exact instants
+// (drift-free).
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	for {
+		if len(v.pending) == 0 || v.pending[0].when.After(target) {
+			break
+		}
+		t := heap.Pop(&v.pending).(*virtualTimer)
+		if t.stopped {
+			continue
+		}
+		t.fired = true
+		v.now = t.when
+		fn := t.fn
+		v.mu.Unlock()
+		fn()
+		v.mu.Lock()
+	}
+	if target.After(v.now) {
+		v.now = target
+	}
+	v.mu.Unlock()
+}
+
+// AdvanceTo moves the clock to the given instant (no-op if already
+// past it).
+func (v *Virtual) AdvanceTo(t time.Time) {
+	v.mu.Lock()
+	d := t.Sub(v.now)
+	v.mu.Unlock()
+	if d > 0 {
+		v.Advance(d)
+	}
+}
+
+// PendingTimers reports how many timers are scheduled and not yet
+// fired or stopped.
+func (v *Virtual) PendingTimers() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for _, t := range v.pending {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+type virtualTimer struct {
+	clock   *Virtual
+	when    time.Time
+	fn      func()
+	seq     uint64
+	index   int
+	stopped bool
+	fired   bool
+}
+
+func (t *virtualTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// timerHeap orders timers by deadline, breaking ties by creation
+// sequence so same-instant timers fire in schedule order.
+type timerHeap []*virtualTimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].when.Equal(h[j].when) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].when.Before(h[j].when)
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*virtualTimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,176 @@
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+func TestVirtualNow(t *testing.T) {
+	v := NewVirtual(epoch)
+	if !v.Now().Equal(epoch) {
+		t.Fatalf("Now = %v, want %v", v.Now(), epoch)
+	}
+	v.Advance(time.Minute)
+	if !v.Now().Equal(epoch.Add(time.Minute)) {
+		t.Fatalf("after Advance: %v", v.Now())
+	}
+}
+
+func TestVirtualAfterFuncFiresAtDeadline(t *testing.T) {
+	v := NewVirtual(epoch)
+	var firedAt time.Time
+	v.AfterFunc(10*time.Second, func() { firedAt = v.Now() })
+	v.Advance(9 * time.Second)
+	if !firedAt.IsZero() {
+		t.Fatal("timer fired early")
+	}
+	v.Advance(2 * time.Second)
+	if !firedAt.Equal(epoch.Add(10 * time.Second)) {
+		t.Fatalf("fired at %v, want %v (clock must be AT the deadline during fire)", firedAt, epoch.Add(10*time.Second))
+	}
+}
+
+func TestVirtualTimersFireInOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	var order []int
+	v.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	v.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	v.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	v.Advance(5 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order %v", order)
+	}
+}
+
+func TestVirtualSameInstantFIFO(t *testing.T) {
+	v := NewVirtual(epoch)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		v.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	v.Advance(time.Second)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("same-instant timers fired out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestVirtualStop(t *testing.T) {
+	v := NewVirtual(epoch)
+	fired := false
+	tm := v.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	v.Advance(2 * time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if v.PendingTimers() != 0 {
+		t.Fatalf("PendingTimers = %d, want 0", v.PendingTimers())
+	}
+}
+
+func TestVirtualStopAfterFire(t *testing.T) {
+	v := NewVirtual(epoch)
+	tm := v.AfterFunc(time.Second, func() {})
+	v.Advance(time.Second)
+	if tm.Stop() {
+		t.Fatal("Stop after fire should report false")
+	}
+}
+
+func TestVirtualRescheduleFromCallback(t *testing.T) {
+	// A periodic detector reschedules itself from inside the callback;
+	// the new timer must be eligible within the same Advance window.
+	v := NewVirtual(epoch)
+	var fires []time.Time
+	var tick func()
+	tick = func() {
+		fires = append(fires, v.Now())
+		if len(fires) < 5 {
+			v.AfterFunc(time.Second, tick)
+		}
+	}
+	v.AfterFunc(time.Second, tick)
+	v.Advance(10 * time.Second)
+	if len(fires) != 5 {
+		t.Fatalf("got %d fires, want 5", len(fires))
+	}
+	for i, ft := range fires {
+		want := epoch.Add(time.Duration(i+1) * time.Second)
+		if !ft.Equal(want) {
+			t.Fatalf("fire %d at %v, want %v (periodic must be drift-free)", i, ft, want)
+		}
+	}
+}
+
+func TestVirtualZeroDelay(t *testing.T) {
+	v := NewVirtual(epoch)
+	fired := false
+	v.AfterFunc(0, func() { fired = true })
+	v.Advance(0)
+	if !fired {
+		t.Fatal("zero-delay timer should fire on Advance(0)")
+	}
+}
+
+func TestVirtualAdvanceTo(t *testing.T) {
+	v := NewVirtual(epoch)
+	target := epoch.Add(time.Hour)
+	v.AdvanceTo(target)
+	if !v.Now().Equal(target) {
+		t.Fatalf("Now = %v", v.Now())
+	}
+	v.AdvanceTo(epoch) // already past: no-op
+	if !v.Now().Equal(target) {
+		t.Fatal("AdvanceTo must not move backwards")
+	}
+}
+
+func TestVirtualConcurrentSchedule(t *testing.T) {
+	v := NewVirtual(epoch)
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v.AfterFunc(time.Duration(i)*time.Millisecond, func() { count.Add(1) })
+		}(i)
+	}
+	wg.Wait()
+	v.Advance(time.Second)
+	if count.Load() != 50 {
+		t.Fatalf("fired %d of 50", count.Load())
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	c := Real()
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatal("real clock far behind wall clock")
+	}
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real AfterFunc did not fire")
+	}
+	tm := c.AfterFunc(time.Hour, func() {})
+	if !tm.Stop() {
+		t.Fatal("Stop on pending real timer should be true")
+	}
+}

@@ -1,0 +1,322 @@
+// Package cond implements the HiPAC Condition Evaluator (§5.5 of the
+// paper): given an event signal and the set of rules it triggered,
+// determine efficiently which rule conditions are satisfied.
+//
+// A condition is a collection of queries; it is satisfied iff every
+// query returns a non-empty result (§2.1). The evaluator maintains a
+// *condition graph*: each syntactically distinct query (by canonical
+// form) is a single node shared by all rules that use it, so a query
+// appearing in a thousand rules is evaluated once per event — the
+// "multiple query optimization" of §5.5 in spirit. Nodes whose
+// queries reference no event arguments can additionally be cached
+// across events and invalidated by class modification counters
+// (incremental evaluation).
+package cond
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/datum"
+	"repro/internal/query"
+)
+
+// Condition is a parsed rule condition: zero or more queries, the
+// first of which is the *primary* query whose result rows drive the
+// action (one action execution per row). An empty condition is always
+// satisfied.
+type Condition struct {
+	Queries []*query.Query
+}
+
+// ParseCondition parses the query texts of a condition.
+func ParseCondition(srcs []string) (Condition, error) {
+	c := Condition{}
+	for i, src := range srcs {
+		q, err := query.Parse(src)
+		if err != nil {
+			return Condition{}, fmt.Errorf("cond: query %d: %w", i+1, err)
+		}
+		c.Queries = append(c.Queries, q)
+	}
+	return c, nil
+}
+
+// Strings returns the canonical texts of the condition's queries.
+func (c Condition) Strings() []string {
+	out := make([]string, len(c.Queries))
+	for i, q := range c.Queries {
+		out[i] = q.String()
+	}
+	return out
+}
+
+// Footprint unions the footprints of all queries.
+func (c Condition) Footprint() query.Footprint {
+	fp := query.Footprint{Classes: map[string]map[string]struct{}{}}
+	seen := map[string]bool{}
+	for _, q := range c.Queries {
+		qf := q.ComputeFootprint()
+		for cls, attrs := range qf.Classes {
+			if fp.Classes[cls] == nil {
+				fp.Classes[cls] = map[string]struct{}{}
+			}
+			for a := range attrs {
+				fp.Classes[cls][a] = struct{}{}
+			}
+		}
+		for _, a := range qf.EventArgs {
+			if !seen[a] {
+				seen[a] = true
+				fp.EventArgs = append(fp.EventArgs, a)
+			}
+		}
+	}
+	return fp
+}
+
+// Outcome is the result of evaluating one rule's condition.
+type Outcome struct {
+	Satisfied bool
+	// Primary is the first query's result when satisfied (nil for an
+	// empty condition). Its rows drive action execution.
+	Primary *query.Result
+}
+
+// Stats counts evaluator activity; Evaluations counts query-node
+// evaluations actually performed, SharedHits counts rule-queries
+// answered from a node already evaluated for the same event, and
+// CacheHits counts nodes answered from the cross-event cache.
+type Stats struct {
+	Evaluations uint64
+	SharedHits  uint64
+	CacheHits   uint64
+}
+
+type qnode struct {
+	q         *query.Query
+	canonical string
+	refs      int
+	footprint query.Footprint
+	eventFree bool
+
+	// Cross-event cache, used only for event-free queries evaluated
+	// by "clean" readers (transactions with no uncommitted writes).
+	cached     *query.Result
+	cachedSeqs map[string]uint64
+}
+
+type ruleEntry struct {
+	nodes []*qnode
+}
+
+// ModSeqFunc reports a counter that advances whenever the class is
+// written; the storage layer provides it.
+type ModSeqFunc func(class string) uint64
+
+// Evaluator is the condition evaluator. It is safe for concurrent
+// use.
+type Evaluator struct {
+	mu     sync.Mutex
+	nodes  map[string]*qnode
+	rules  map[uint64]*ruleEntry
+	modSeq ModSeqFunc
+	stats  Stats
+}
+
+// New returns an evaluator using modSeq for incremental-cache
+// invalidation (pass nil to disable cross-event caching).
+func New(modSeq ModSeqFunc) *Evaluator {
+	return &Evaluator{
+		nodes:  map[string]*qnode{},
+		rules:  map[uint64]*ruleEntry{},
+		modSeq: modSeq,
+	}
+}
+
+// AddRule registers a rule's condition in the graph (§5.5 "Add
+// Rule"). Queries identical to ones already in the graph share their
+// node.
+func (e *Evaluator) AddRule(id uint64, c Condition) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	entry := &ruleEntry{}
+	for _, q := range c.Queries {
+		key := q.String()
+		n := e.nodes[key]
+		if n == nil {
+			fp := q.ComputeFootprint()
+			n = &qnode{q: q, canonical: key, footprint: fp, eventFree: len(fp.EventArgs) == 0}
+			e.nodes[key] = n
+		}
+		n.refs++
+		entry.nodes = append(entry.nodes, n)
+	}
+	e.rules[id] = entry
+}
+
+// RemoveRule unregisters a rule (§5.5 "Delete Rule"), dropping
+// graph nodes no longer referenced by any rule.
+func (e *Evaluator) RemoveRule(id uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	entry := e.rules[id]
+	if entry == nil {
+		return
+	}
+	delete(e.rules, id)
+	for _, n := range entry.nodes {
+		n.refs--
+		if n.refs == 0 {
+			delete(e.nodes, n.canonical)
+		}
+	}
+}
+
+// NodeCount reports the number of distinct query nodes in the graph.
+func (e *Evaluator) NodeCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.nodes)
+}
+
+// NodeInfo describes one condition-graph node for the rule-base
+// tooling of §7 ("tools and techniques needed to develop large,
+// complex rule bases").
+type NodeInfo struct {
+	Query     string `json:"query"`     // canonical text
+	Refs      int    `json:"refs"`      // rules sharing the node
+	EventFree bool   `json:"eventFree"` // eligible for the cross-event cache
+	Cached    bool   `json:"cached"`    // currently holds a cached result
+}
+
+// Nodes returns the condition graph's nodes sorted by descending
+// reference count (most-shared first), then by query text.
+func (e *Evaluator) Nodes() []NodeInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]NodeInfo, 0, len(e.nodes))
+	for _, n := range e.nodes {
+		out = append(out, NodeInfo{
+			Query:     n.canonical,
+			Refs:      n.refs,
+			EventFree: n.eventFree,
+			Cached:    n.cached != nil,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Refs != out[j].Refs {
+			return out[i].Refs > out[j].Refs
+		}
+		return out[i].Query < out[j].Query
+	})
+	return out
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Evaluator) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Evaluate determines which of the given rules' conditions are
+// satisfied (§5.5 "Evaluate Conditions"). reader is bound to the
+// transaction chosen by the coupling mode; eventArgs are the signal's
+// bindings; clean declares that the reader's transaction (including
+// ancestors) has no uncommitted writes, enabling the cross-event
+// cache. Each distinct query node is evaluated at most once per call
+// regardless of how many rules share it.
+func (e *Evaluator) Evaluate(reader query.Reader, eventArgs map[string]datum.Value,
+	clean bool, ruleIDs []uint64) (map[uint64]*Outcome, error) {
+
+	// Snapshot the per-rule node lists under the lock; query
+	// evaluation itself runs without holding it.
+	e.mu.Lock()
+	plan := make(map[uint64][]*qnode, len(ruleIDs))
+	for _, id := range ruleIDs {
+		if entry, ok := e.rules[id]; ok {
+			plan[id] = entry.nodes
+		}
+	}
+	e.mu.Unlock()
+
+	memo := map[*qnode]*query.Result{}
+	out := make(map[uint64]*Outcome, len(plan))
+	for id, nodes := range plan {
+		oc := &Outcome{Satisfied: true}
+		for i, n := range nodes {
+			res, ok := memo[n]
+			if ok {
+				e.bump(func(s *Stats) { s.SharedHits++ })
+			} else {
+				var err error
+				res, err = e.evalNode(n, reader, eventArgs, clean)
+				if err != nil {
+					return nil, fmt.Errorf("cond: rule %d query %q: %w", id, n.canonical, err)
+				}
+				memo[n] = res
+			}
+			if res.Empty() {
+				oc.Satisfied = false
+				oc.Primary = nil
+				break
+			}
+			if i == 0 {
+				oc.Primary = res
+			}
+		}
+		out[id] = oc
+	}
+	return out, nil
+}
+
+func (e *Evaluator) bump(f func(*Stats)) {
+	e.mu.Lock()
+	f(&e.stats)
+	e.mu.Unlock()
+}
+
+func (e *Evaluator) evalNode(n *qnode, reader query.Reader,
+	eventArgs map[string]datum.Value, clean bool) (*query.Result, error) {
+
+	if clean && n.eventFree && e.modSeq != nil {
+		e.mu.Lock()
+		if n.cached != nil && e.cacheFreshLocked(n) {
+			res := n.cached
+			e.stats.CacheHits++
+			e.mu.Unlock()
+			return res, nil
+		}
+		e.mu.Unlock()
+	}
+
+	res, err := query.Eval(n.q, reader, eventArgs)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.stats.Evaluations++
+	if clean && n.eventFree && e.modSeq != nil {
+		seqs := make(map[string]uint64, len(n.footprint.Classes))
+		for cls := range n.footprint.Classes {
+			seqs[cls] = e.modSeq(cls)
+		}
+		n.cached = res
+		n.cachedSeqs = seqs
+	}
+	e.mu.Unlock()
+	return res, nil
+}
+
+// cacheFreshLocked reports whether no class in the node's footprint
+// has been written since the cache was filled. Caller holds e.mu.
+func (e *Evaluator) cacheFreshLocked(n *qnode) bool {
+	for cls, seq := range n.cachedSeqs {
+		if e.modSeq(cls) != seq {
+			return false
+		}
+	}
+	return len(n.cachedSeqs) == len(n.footprint.Classes)
+}

@@ -1,0 +1,299 @@
+package core
+
+// Tests of transaction-control events, temporal baselines, and mixed
+// composite events through the full engine.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/object"
+	"repro/internal/rule"
+	"repro/internal/txn"
+)
+
+func TestCommitEventRule(t *testing.T) {
+	// §2.1: transaction control is a primitive database event. A rule
+	// on commit() fires during commit processing (§6.3), in a
+	// subtransaction of the committing transaction.
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	var committedTxns []int64
+	e.RegisterCall("note-commit", func(tx *txn.Txn, b map[string]datum.Value) error {
+		committedTxns = append(committedTxns, b["txn"].AsInt())
+		return nil
+	})
+	if _, err := e.CreateRule(rule.Def{
+		Name:   "on-commit",
+		Event:  "commit()",
+		Action: []rule.Step{{Kind: rule.StepCall, Fn: "note-commit"}},
+		EC:     "immediate", CA: "immediate",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	id := int64(tx.ID())
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, got := range committedTxns {
+		if got == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("commit rule did not observe txn %d (saw %v)", id, committedTxns)
+	}
+}
+
+func TestAbortEventRule(t *testing.T) {
+	// Aborts are signalled outside any transaction; immediate
+	// coupling degrades to a separate firing.
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	aborted := make(chan int64, 8)
+	e.RegisterCall("note-abort", func(tx *txn.Txn, b map[string]datum.Value) error {
+		aborted <- b["txn"].AsInt()
+		return nil
+	})
+	if _, err := e.CreateRule(rule.Def{
+		Name:   "on-abort",
+		Event:  "abort()",
+		Action: []rule.Step{{Kind: rule.StepCall, Fn: "note-abort"}},
+		EC:     "immediate", CA: "immediate",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	id := int64(tx.ID())
+	tx.Abort()
+	e.Quiesce()
+	select {
+	case got := <-aborted:
+		if got != id {
+			t.Fatalf("abort rule saw txn %d, want %d", got, id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("abort rule never fired")
+	}
+}
+
+func TestTemporalBaselineRule(t *testing.T) {
+	// "30 seconds after MarketOpen" through the engine.
+	e, clk := newEngine(t)
+	defineStockAndAudit(t, e)
+	if err := e.DefineEvent("MarketOpen"); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	e.RegisterCall("late-check", func(*txn.Txn, map[string]datum.Value) error {
+		fired++
+		return nil
+	})
+	if _, err := e.CreateRule(rule.Def{
+		Name:   "post-open",
+		Event:  "after(external(MarketOpen), 30s)",
+		Action: []rule.Step{{Kind: rule.StepCall, Fn: "late-check"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Minute)
+	e.Quiesce()
+	if fired != 0 {
+		t.Fatal("fired before the baseline event")
+	}
+	if err := e.SignalEvent(nil, "MarketOpen", nil); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(30 * time.Second)
+	e.Quiesce()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestMixedCompositeDBAndExternal(t *testing.T) {
+	// seq(modify(Stock), external(Confirm)): a database event
+	// followed by an application event, with merged bindings.
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	oid := createStock(t, e, "XRX", 48)
+	if err := e.DefineEvent("Confirm", "who"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateRule(rule.Def{
+		Name:  "confirmed-change",
+		Event: "seq(modify(Stock), external(Confirm))",
+		Action: []rule.Step{{
+			Kind: rule.StepCreate, Class: "Audit",
+			Attrs: map[string]string{
+				"note":  "event.who",       // from the external part
+				"price": "event.new_price", // from the database part
+			},
+		}},
+		EC: "immediate", CA: "immediate",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	if err := e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(50)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := auditCountIn(t, e, tx); got != 0 {
+		t.Fatal("sequence fired after first part")
+	}
+	if err := e.SignalEvent(tx, "Confirm", map[string]datum.Value{"who": datum.Str("ops")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := auditCountIn(t, e, tx); got != 1 {
+		t.Fatalf("audit rows = %d", got)
+	}
+	res, err := e.Query(tx, "select a.note, a.price from Audit a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsString() != "ops" || res.Rows[0][1].AsFloat() != 50 {
+		t.Fatalf("merged bindings = %v", res.Rows[0])
+	}
+	tx.Commit()
+}
+
+func TestRuleOnDeleteSeesOldValues(t *testing.T) {
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	oid := createStock(t, e, "XRX", 48)
+	if _, err := e.CreateRule(rule.Def{
+		Name:  "tombstone-audit",
+		Event: "delete(Stock)",
+		Action: []rule.Step{{
+			Kind: rule.StepCreate, Class: "Audit",
+			Attrs: map[string]string{"note": "event.old_symbol", "price": "event.old_price"},
+		}},
+		EC: "immediate", CA: "immediate",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	if err := e.Delete(tx, oid); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(tx, "select a.note, a.price from Audit a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "XRX" || res.Rows[0][1].AsFloat() != 48 {
+		t.Fatalf("delete bindings = %v", res.Rows)
+	}
+	tx.Commit()
+}
+
+func TestActionModifyStepWithRowTarget(t *testing.T) {
+	// The SAA portfolio pattern in isolation: condition selects an
+	// object, the action modifies it via the row binding, computing
+	// the new value from old attribute + event argument.
+	e, _ := newEngine(t)
+	tx0 := e.Begin()
+	if err := e.DefineClass(tx0, stockClass); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DefineClass(tx0, auditClass); err != nil {
+		t.Fatal(err)
+	}
+	tx0.Commit()
+	if err := e.DefineEvent("Add", "sym", "amount"); err != nil {
+		t.Fatal(err)
+	}
+	oid := createStock(t, e, "XRX", 10)
+	if _, err := e.CreateRule(rule.Def{
+		Name:      "bump",
+		Event:     "external(Add)",
+		Condition: []string{"select s from Stock s where s.symbol = event.sym"},
+		Action: []rule.Step{{
+			Kind: rule.StepModify, Target: "s",
+			Attrs: map[string]string{"price": "s.price + event.amount"},
+		}},
+		EC: "immediate", CA: "immediate",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	if err := e.SignalEvent(tx, "Add", map[string]datum.Value{
+		"sym": datum.Str("XRX"), "amount": datum.Float(5),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := e.Get(tx, oid)
+	if err != nil || rec.Attrs["price"].AsFloat() != 15 {
+		t.Fatalf("price = %v (%v)", rec.Attrs["price"], err)
+	}
+	tx.Commit()
+}
+
+func TestActionDeleteStep(t *testing.T) {
+	// A cleanup rule: when a stock's price hits zero, delete it.
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	oid := createStock(t, e, "DEAD", 5)
+	if _, err := e.CreateRule(rule.Def{
+		Name:      "reap",
+		Event:     "modify(Stock)",
+		Condition: []string{"select s from Stock s where s = event.oid and event.new_price <= 0"},
+		Action:    []rule.Step{{Kind: rule.StepDelete, Target: "s"}},
+		EC:        "immediate", CA: "immediate",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	if err := e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Get(tx, oid); err == nil {
+		t.Fatal("object survived the reap rule")
+	}
+	tx.Commit()
+}
+
+func TestManyRulesManyEventsIsolation(t *testing.T) {
+	// Rules on different classes never cross-fire.
+	e, _ := newEngine(t)
+	tx0 := e.Begin()
+	for i := 0; i < 5; i++ {
+		if err := e.DefineClass(tx0, hipacClass(fmt.Sprintf("K%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.DefineClass(tx0, auditClass); err != nil {
+		t.Fatal(err)
+	}
+	tx0.Commit()
+	for i := 0; i < 5; i++ {
+		if _, err := e.CreateRule(rule.Def{
+			Name:  fmt.Sprintf("watch-K%d", i),
+			Event: fmt.Sprintf("create(K%d)", i),
+			Action: []rule.Step{{Kind: rule.StepCreate, Class: "Audit",
+				Attrs: map[string]string{"note": fmt.Sprintf("'K%d'", i)}}},
+			EC: "immediate", CA: "immediate",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx := e.Begin()
+	if _, err := e.Create(tx, "K2", map[string]datum.Value{"x": datum.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(tx, "select a.note from Audit a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "K2" {
+		t.Fatalf("cross-fired: %v", res.Rows)
+	}
+	tx.Commit()
+}
+
+func hipacClass(name string) object.Class {
+	return object.Class{Name: name, Attrs: []object.AttrDef{{Name: "x", Kind: datum.KindInt}}}
+}

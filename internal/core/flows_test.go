@@ -1,0 +1,506 @@
+package core
+
+// Tests for the paper's §6 rule-processing protocols (experiment
+// F5.1 in DESIGN.md) and the §3.2 concurrency claims (C2, C8).
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/datum"
+	"repro/internal/lock"
+	"repro/internal/object"
+	"repro/internal/rule"
+	"repro/internal/txn"
+)
+
+// traceRecorder captures rule-manager traces.
+type traceRecorder struct {
+	mu     sync.Mutex
+	traces []rule.Trace
+}
+
+func (r *traceRecorder) record(t rule.Trace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.traces = append(r.traces, t)
+}
+
+func (r *traceRecorder) snapshot() []rule.Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]rule.Trace(nil), r.traces...)
+}
+
+func (r *traceRecorder) kinds() []string {
+	var out []string
+	for _, t := range r.snapshot() {
+		out = append(out, t.Kind)
+	}
+	return out
+}
+
+func TestEventSignalFlow(t *testing.T) {
+	// §6.2: event signal -> condition evaluation in a subtransaction
+	// of the trigger -> action in a sibling subtransaction -> the
+	// triggering operation resumes only after both complete.
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	oid := createStock(t, e, "XRX", 48)
+	rec := &traceRecorder{}
+	e.Rules.SetTrace(rec.record)
+	e.CreateRule(auditRule("audit", "immediate", "immediate"))
+
+	tx := e.Begin()
+	if err := e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(50)}); err != nil {
+		t.Fatal(err)
+	}
+	traces := rec.snapshot()
+	if len(traces) != 2 || traces[0].Kind != "cond" || traces[1].Kind != "action" {
+		t.Fatalf("trace = %v", rec.kinds())
+	}
+	condTr, actTr := traces[0], traces[1]
+	if condTr.Parent != tx.ID() || actTr.Parent != tx.ID() {
+		t.Fatalf("condition/action not anchored at the trigger: %+v %+v (trigger %d)", condTr, actTr, tx.ID())
+	}
+	if condTr.Txn == actTr.Txn {
+		t.Fatal("condition and action must run in distinct subtransactions")
+	}
+	if condTr.Txn <= tx.ID() || actTr.Txn <= condTr.Txn {
+		t.Fatalf("transaction creation order wrong: trigger=%d cond=%d action=%d", tx.ID(), condTr.Txn, actTr.Txn)
+	}
+	// The trigger is operable again (all subtransactions terminated).
+	if err := tx.CheckOperable(); err != nil {
+		t.Fatalf("trigger still suspended after signal processing: %v", err)
+	}
+	tx.Commit()
+}
+
+func TestCommitFlow(t *testing.T) {
+	// §6.3: deferred firings queue during the transaction and drain
+	// as part of commit processing, before commit completes.
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	oid := createStock(t, e, "XRX", 48)
+	rec := &traceRecorder{}
+	e.Rules.SetTrace(rec.record)
+	e.CreateRule(auditRule("audit", "deferred", "immediate"))
+
+	tx := e.Begin()
+	e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(50)})
+	e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(51)})
+	if got := rec.kinds(); fmt.Sprint(got) != "[deferred-queue deferred-queue]" {
+		t.Fatalf("pre-commit trace = %v", got)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.kinds()
+	want := "[deferred-queue deferred-queue deferred-drain cond action deferred-drain cond action]"
+	if fmt.Sprint(got) != want {
+		t.Fatalf("trace = %v, want %v", got, want)
+	}
+	// Drained firings are anchored at the committing transaction.
+	for _, tr := range rec.snapshot() {
+		if tr.Kind == "cond" && tr.Parent != tx.ID() {
+			t.Fatalf("deferred condition parent = %d, want trigger %d", tr.Parent, tx.ID())
+		}
+	}
+}
+
+func TestRuleCreationFlow(t *testing.T) {
+	// §6.1: creating a rule stores a rule object, programs the event
+	// detectors, registers the condition in the graph, and maps the
+	// event to the rule.
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	subsBefore := e.Detectors.Subscriptions()
+	nodesBefore := e.Conditions.NodeCount()
+	def := auditRule("audit", "immediate", "immediate")
+	def.Condition = []string{"select s from Stock s"}
+	r, err := e.CreateRule(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Detectors.Subscriptions() != subsBefore+1 {
+		t.Fatal("event detector not programmed")
+	}
+	if e.Conditions.NodeCount() != nodesBefore+1 {
+		t.Fatal("condition not added to the graph")
+	}
+	// The rule object exists in the database.
+	tx := e.Begin()
+	defer tx.Commit()
+	recObj, err := e.Get(tx, r.OID)
+	if err != nil || recObj.Class != rule.RuleClass {
+		t.Fatalf("rule object = %+v (%v)", recObj, err)
+	}
+	if recObj.Attrs["name"].AsString() != "audit" {
+		t.Fatal("rule object name wrong")
+	}
+}
+
+func TestSiblingActionsRunConcurrently(t *testing.T) {
+	// C2 / §3.2: "all of the rules fire concurrently as sibling
+	// transactions" — verified with a rendezvous barrier that can
+	// only be passed if all N actions are alive at the same time.
+	const n = 4
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	oid := createStock(t, e, "XRX", 48)
+
+	var mu sync.Mutex
+	arrived := 0
+	cond := sync.NewCond(&mu)
+	barrier := func(*txn.Txn, map[string]datum.Value) error {
+		mu.Lock()
+		defer mu.Unlock()
+		arrived++
+		cond.Broadcast()
+		deadline := time.Now().Add(5 * time.Second)
+		for arrived < n {
+			if time.Now().After(deadline) {
+				return errors.New("barrier timeout: actions are not concurrent")
+			}
+			cond.Wait()
+		}
+		return nil
+	}
+	e.RegisterCall("barrier", barrier)
+	// Watchdog: wake sleepers periodically so the deadline check runs.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(100 * time.Millisecond):
+				cond.Broadcast()
+			}
+		}
+	}()
+
+	for i := 0; i < n; i++ {
+		_, err := e.CreateRule(rule.Def{
+			Name:   fmt.Sprintf("sibling-%d", i),
+			Event:  "modify(Stock)",
+			Action: []rule.Step{{Kind: rule.StepCall, Fn: "barrier"}},
+			EC:     "immediate", CA: "immediate",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx := e.Begin()
+	if err := e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(50)}); err != nil {
+		t.Fatalf("siblings did not run concurrently: %v", err)
+	}
+	tx.Commit()
+}
+
+func TestCascadeProducesNestedTree(t *testing.T) {
+	// §3.2: cascading rule firings produce a TREE of nested
+	// transactions; verify depths via traces.
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	tx0 := e.Begin()
+	if err := e.DefineClass(tx0, object.Class{Name: "L2", Attrs: []object.AttrDef{{Name: "x", Kind: datum.KindInt}}}); err != nil {
+		t.Fatal(err)
+	}
+	tx0.Commit()
+	oid := createStock(t, e, "XRX", 48)
+	rec := &traceRecorder{}
+	e.Rules.SetTrace(rec.record)
+
+	e.CreateRule(rule.Def{
+		Name:  "lvl1",
+		Event: "modify(Stock)",
+		Action: []rule.Step{{Kind: rule.StepCreate, Class: "Audit",
+			Attrs: map[string]string{"note": "'1'"}}},
+		EC: "immediate", CA: "immediate",
+	})
+	e.CreateRule(rule.Def{
+		Name:  "lvl2",
+		Event: "create(Audit)",
+		Action: []rule.Step{{Kind: rule.StepCreate, Class: "L2",
+			Attrs: map[string]string{"x": "1"}}},
+		EC: "immediate", CA: "immediate",
+	})
+
+	tx := e.Begin()
+	if err := e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(50)}); err != nil {
+		t.Fatal(err)
+	}
+	// Find lvl1's action txn and lvl2's firing parent: lvl2 must be
+	// anchored at lvl1's action subtransaction, forming a tree.
+	var lvl1Action, lvl2CondParent lock.TxnID
+	for _, tr := range rec.snapshot() {
+		if tr.Kind == "action" && tr.Rule == "lvl1" {
+			lvl1Action = tr.Txn
+		}
+		if tr.Kind == "cond" && lvl1Action != 0 && tr.Parent == lvl1Action {
+			lvl2CondParent = tr.Parent
+		}
+	}
+	if lvl1Action == 0 || lvl2CondParent != lvl1Action {
+		t.Fatalf("cascade not nested under lvl1's action: traces=%v", rec.snapshot())
+	}
+	tx.Commit()
+}
+
+func TestSerializabilityStress(t *testing.T) {
+	// C8: concurrent transfers between accounts with an auditing rule
+	// attached; total balance is invariant and the books stay
+	// consistent under deadlock-retry.
+	e, _ := newEngine(t)
+	tx0 := e.Begin()
+	if err := e.DefineClass(tx0, object.Class{
+		Name: "Account",
+		Attrs: []object.AttrDef{
+			{Name: "owner", Kind: datum.KindString, Required: true},
+			{Name: "balance", Kind: datum.KindInt, Required: true},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DefineClass(tx0, auditClass); err != nil {
+		t.Fatal(err)
+	}
+	tx0.Commit()
+
+	const accounts = 8
+	const initial = 1000
+	oids := make([]datum.OID, accounts)
+	seed := e.Begin()
+	for i := range oids {
+		var err error
+		oids[i], err = e.Create(seed, "Account", map[string]datum.Value{
+			"owner": datum.Str(fmt.Sprintf("acct%d", i)), "balance": datum.Int(initial),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed.Commit()
+
+	// An immediate rule audits every account modification.
+	if _, err := e.CreateRule(rule.Def{
+		Name:  "audit-transfers",
+		Event: "modify(Account)",
+		Action: []rule.Step{{Kind: rule.StepCreate, Class: "Audit",
+			Attrs: map[string]string{"note": "'xfer'"}}},
+		EC: "immediate", CA: "immediate",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const transfersPerWorker = 30
+	var committed, retried int64
+	var cm sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < transfersPerWorker; {
+				a, b := rng.Intn(accounts), rng.Intn(accounts)
+				if a == b {
+					continue
+				}
+				// Deterministic lock order avoids most deadlocks; the
+				// rule's Audit extent lock still serializes firings.
+				if a > b {
+					a, b = b, a
+				}
+				tx := e.Begin()
+				err := transfer(e, tx, oids[a], oids[b], 1)
+				if err != nil {
+					tx.Abort()
+					if errors.Is(err, lock.ErrDeadlock) {
+						cm.Lock()
+						retried++
+						cm.Unlock()
+						continue // retry
+					}
+					t.Errorf("transfer: %v", err)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+				cm.Lock()
+				committed++
+				cm.Unlock()
+				i++
+			}
+		}(w)
+	}
+	wg.Wait()
+	e.Quiesce()
+
+	check := e.Begin()
+	defer check.Commit()
+	res, err := e.Query(check, "select sum(a.balance) as total from Account a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].AsInt(); got != accounts*initial {
+		t.Fatalf("total balance = %d, want %d (money %s)", got, accounts*initial,
+			map[bool]string{true: "created", false: "destroyed"}[got > accounts*initial])
+	}
+	// Every committed transfer audited exactly twice (two modifies).
+	res, err = e.Query(check, "select count(*) as n from Audit a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].AsInt(); got != 2*committed {
+		t.Fatalf("audit rows = %d, want %d (2 per committed transfer)", got, 2*committed)
+	}
+	if committed != workers*transfersPerWorker {
+		t.Fatalf("committed = %d", committed)
+	}
+}
+
+func transfer(e *Engine, tx *txn.Txn, from, to datum.OID, amount int64) error {
+	src, err := e.Get(tx, from)
+	if err != nil {
+		return err
+	}
+	dst, err := e.Get(tx, to)
+	if err != nil {
+		return err
+	}
+	if err := e.Modify(tx, from, map[string]datum.Value{
+		"balance": datum.Int(src.Attrs["balance"].AsInt() - amount)}); err != nil {
+		return err
+	}
+	return e.Modify(tx, to, map[string]datum.Value{
+		"balance": datum.Int(dst.Attrs["balance"].AsInt() + amount)})
+}
+
+func TestEngineCrashRecovery(t *testing.T) {
+	// C8: committed top-level effects survive an abrupt stop (no
+	// Close); uncommitted ones do not.
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir, NoSync: true, Clock: clock.NewVirtual(epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	if err := e.DefineClass(tx, stockClass); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	c1 := e.Begin()
+	committedOID, _ := e.Create(c1, "Stock", map[string]datum.Value{
+		"symbol": datum.Str("SAFE"), "price": datum.Float(1),
+	})
+	c1.Commit()
+	c2 := e.Begin()
+	e.Create(c2, "Stock", map[string]datum.Value{
+		"symbol": datum.Str("LOST"), "price": datum.Float(2),
+	})
+	// Crash: c2 never commits, engine never closed.
+	_ = c2
+
+	e2, err := Open(Options{Dir: dir, NoSync: true, Clock: clock.NewVirtual(epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	tx2 := e2.Begin()
+	defer tx2.Commit()
+	if _, err := e2.Get(tx2, committedOID); err != nil {
+		t.Fatalf("committed object lost: %v", err)
+	}
+	res, err := e2.Query(tx2, "select count(*) as n from Stock s", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 1 {
+		t.Fatalf("recovered %d stocks, want 1", res.Rows[0][0].AsInt())
+	}
+}
+
+func TestEngineCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir, NoSync: true, Clock: clock.NewVirtual(epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	e.DefineClass(tx, stockClass)
+	tx.Commit()
+	for i := 0; i < 10; i++ {
+		tx := e.Begin()
+		e.Create(tx, "Stock", map[string]datum.Value{
+			"symbol": datum.Str(fmt.Sprintf("S%d", i)), "price": datum.Float(float64(i)),
+		})
+		tx.Commit()
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint commits land in the fresh WAL.
+	tx2 := e.Begin()
+	e.Create(tx2, "Stock", map[string]datum.Value{"symbol": datum.Str("POST"), "price": datum.Float(99)})
+	tx2.Commit()
+	e.Close()
+
+	e2, err := Open(Options{Dir: dir, NoSync: true, Clock: clock.NewVirtual(epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	tx3 := e2.Begin()
+	defer tx3.Commit()
+	res, err := e2.Query(tx3, "select count(*) as n from Stock s", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 11 {
+		t.Fatalf("recovered %d stocks, want 11", res.Rows[0][0].AsInt())
+	}
+}
+
+func TestSeparateFiringErrorReported(t *testing.T) {
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	oid := createStock(t, e, "XRX", 48)
+	var mu sync.Mutex
+	var reported []string
+	e.Rules.SetErrorHandler(func(rule string, err error) {
+		mu.Lock()
+		reported = append(reported, rule)
+		mu.Unlock()
+	})
+	e.RegisterCall("explode", func(*txn.Txn, map[string]datum.Value) error {
+		return errors.New("boom")
+	})
+	e.CreateRule(rule.Def{
+		Name:   "fragile",
+		Event:  "modify(Stock)",
+		Action: []rule.Step{{Kind: rule.StepCall, Fn: "explode"}},
+		EC:     "separate", CA: "immediate",
+	})
+	tx := e.Begin()
+	if err := e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(50)}); err != nil {
+		t.Fatalf("separate firing error leaked into trigger: %v", err)
+	}
+	tx.Commit()
+	e.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reported) != 1 || reported[0] != "fragile" {
+		t.Fatalf("reported = %v", reported)
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+// Tests for subtler Rule Manager behaviours: shared detector
+// subscriptions with mixed enablement, action-step sequences, C-A
+// wave ordering, and cascaded deferred firings.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/rule"
+	"repro/internal/txn"
+)
+
+func TestPartialDisableAmongSharedSubscription(t *testing.T) {
+	// Rules with identical events share one detector subscription;
+	// disabling ONE of them must not silence the others.
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	oid := createStock(t, e, "XRX", 48)
+	for _, name := range []string{"r1", "r2", "r3"} {
+		def := auditRule(name, "immediate", "immediate")
+		def.Action[0].Attrs["note"] = "'" + name + "'"
+		if _, err := e.CreateRule(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.DisableRule("r2"); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	if err := e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(50)}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(tx, "select a.note from Audit a order by a.note", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var notes []string
+	for _, r := range res.Rows {
+		notes = append(notes, r[0].AsString())
+	}
+	if len(notes) != 2 || notes[0] != "r1" || notes[1] != "r3" {
+		t.Fatalf("fired = %v, want [r1 r3]", notes)
+	}
+	tx.Commit()
+
+	// Disabling the remaining two disables the subscription entirely;
+	// re-enabling one brings detection back.
+	e.DisableRule("r1")
+	e.DisableRule("r3")
+	tx2 := e.Begin()
+	e.Modify(tx2, oid, map[string]datum.Value{"price": datum.Float(51)})
+	if got := auditCountIn(t, e, tx2); got != 2 {
+		t.Fatalf("disabled rules fired: %d rows", got)
+	}
+	tx2.Commit()
+	e.EnableRule("r2")
+	tx3 := e.Begin()
+	e.Modify(tx3, oid, map[string]datum.Value{"price": datum.Float(52)})
+	res, _ = e.Query(tx3, "select a.note from Audit a where a.note = 'r2'", nil)
+	if len(res.Rows) != 1 {
+		t.Fatal("re-enabled rule in shared subscription did not fire")
+	}
+	tx3.Commit()
+}
+
+func TestDeleteOneOfSharedSubscription(t *testing.T) {
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	oid := createStock(t, e, "XRX", 48)
+	e.CreateRule(auditRule("keep", "immediate", "immediate"))
+	e.CreateRule(auditRule("drop", "immediate", "immediate"))
+	subs := e.Detectors.Subscriptions()
+	if err := e.DeleteRule("drop"); err != nil {
+		t.Fatal(err)
+	}
+	// The shared subscription survives (still referenced by "keep").
+	if e.Detectors.Subscriptions() != subs {
+		t.Fatalf("subscription dropped while still referenced")
+	}
+	tx := e.Begin()
+	e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(50)})
+	if got := auditCountIn(t, e, tx); got != 1 {
+		t.Fatalf("surviving rule fired %d times, want 1", got)
+	}
+	tx.Commit()
+	// Deleting the last rule removes the subscription.
+	if err := e.DeleteRule("keep"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Detectors.Subscriptions() != subs-1 {
+		t.Fatal("subscription leaked after last rule deleted")
+	}
+}
+
+func TestActionStepSequence(t *testing.T) {
+	// §2.1: "The action is a sequence of operations" — steps run in
+	// order, in one action transaction.
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	oid := createStock(t, e, "XRX", 48)
+	var order []string
+	var mu sync.Mutex
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		e.RegisterCall(name, func(*txn.Txn, map[string]datum.Value) error {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return nil
+		})
+	}
+	if _, err := e.CreateRule(rule.Def{
+		Name:  "multi-step",
+		Event: "modify(Stock)",
+		Action: []rule.Step{
+			{Kind: rule.StepCall, Fn: "first"},
+			{Kind: rule.StepCreate, Class: "Audit", Attrs: map[string]string{"note": "'mid'"}},
+			{Kind: rule.StepCall, Fn: "second"},
+			{Kind: rule.StepCall, Fn: "third"},
+		},
+		EC: "immediate", CA: "immediate",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	if err := e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(50)}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != "first" || order[1] != "second" || order[2] != "third" {
+		t.Fatalf("step order = %v", order)
+	}
+	if got := auditCount(t, e); got != 1 {
+		t.Fatalf("mid-step create lost: %d", got)
+	}
+}
+
+func TestActionStepFailureAbortsWholeAction(t *testing.T) {
+	// A failing later step rolls back the earlier steps of the same
+	// action transaction (atomic actions).
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	oid := createStock(t, e, "XRX", 48)
+	if _, err := e.CreateRule(rule.Def{
+		Name:  "half-broken",
+		Event: "modify(Stock)",
+		Action: []rule.Step{
+			{Kind: rule.StepCreate, Class: "Audit", Attrs: map[string]string{"note": "'early'"}},
+			{Kind: rule.StepAbort}, // fails after the create
+		},
+		EC: "immediate", CA: "immediate",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	if err := e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(50)}); err == nil {
+		t.Fatal("failing action did not surface")
+	}
+	// The early create was rolled back with the action txn.
+	if got := auditCountIn(t, e, tx); got != 0 {
+		t.Fatalf("partial action effects leaked: %d rows", got)
+	}
+	tx.Abort()
+}
+
+func TestCAWaveOrdering(t *testing.T) {
+	// Among rules triggered by one event: C-A immediate actions all
+	// complete before any C-A deferred action starts.
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	oid := createStock(t, e, "XRX", 48)
+	var mu sync.Mutex
+	var order []string
+	mark := func(name string) rule.CallFunc {
+		return func(*txn.Txn, map[string]datum.Value) error {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return nil
+		}
+	}
+	e.RegisterCall("imm", mark("imm"))
+	e.RegisterCall("def", mark("def"))
+	// Create the deferred-CA rule FIRST so map iteration order can't
+	// accidentally give the right answer.
+	e.CreateRule(rule.Def{
+		Name: "ca-deferred", Event: "modify(Stock)",
+		Action: []rule.Step{{Kind: rule.StepCall, Fn: "def"}},
+		EC:     "immediate", CA: "deferred",
+	})
+	e.CreateRule(rule.Def{
+		Name: "ca-immediate", Event: "modify(Stock)",
+		Action: []rule.Step{{Kind: rule.StepCall, Fn: "imm"}},
+		EC:     "immediate", CA: "immediate",
+	})
+	tx := e.Begin()
+	if err := e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(50)}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "imm" || order[1] != "def" {
+		t.Fatalf("wave order = %v, want [imm def]", order)
+	}
+}
+
+func TestCascadedDeferredFiringsDrainCompletely(t *testing.T) {
+	// A deferred firing's action triggers another deferred firing on
+	// the same committing transaction; the §6.3 drain loop must
+	// process the newly queued work before commit completes.
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	oid := createStock(t, e, "XRX", 48)
+	e.CreateRule(rule.Def{
+		Name:  "level1-deferred",
+		Event: "modify(Stock)",
+		Action: []rule.Step{{Kind: rule.StepCreate, Class: "Audit",
+			Attrs: map[string]string{"note": "'level1'"}}},
+		EC: "deferred", CA: "immediate",
+	})
+	e.CreateRule(rule.Def{
+		Name:      "level2-deferred",
+		Event:     "create(Audit)",
+		Condition: []string{"select a from Audit a where event.new_note = 'level1'"},
+		Action: []rule.Step{{Kind: rule.StepCreate, Class: "Audit",
+			Attrs: map[string]string{"note": "'level2'"}}},
+		EC: "deferred", CA: "immediate",
+	})
+	tx := e.Begin()
+	if err := e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(50)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := auditCountIn(t, e, tx); got != 0 {
+		t.Fatal("deferred fired early")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	check := e.Begin()
+	defer check.Commit()
+	res, err := e.Query(check, "select a.note from Audit a order by a.note", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].AsString() != "level1" || res.Rows[1][0].AsString() != "level2" {
+		t.Fatalf("cascaded deferred drain = %v", res.Rows)
+	}
+}
+
+func TestFireWithConditionRows(t *testing.T) {
+	// Manual Fire evaluates the condition like an automatic firing:
+	// the action runs per primary row.
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	createStock(t, e, "A", 100)
+	createStock(t, e, "B", 200)
+	createStock(t, e, "C", 10)
+	e.CreateRule(rule.Def{
+		Name:      "sweep",
+		Event:     "external(never-fires)",
+		Condition: []string{"select s.symbol as sym from Stock s where s.price >= 100"},
+		Action: []rule.Step{{Kind: rule.StepCreate, Class: "Audit",
+			Attrs: map[string]string{"note": "sym"}}},
+		EC: "immediate", CA: "immediate",
+		Disabled: true,
+	})
+	tx := e.Begin()
+	if err := e.FireRule(tx, "sweep", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := auditCountIn(t, e, tx); got != 2 {
+		t.Fatalf("fired actions = %d, want 2 (per matching row)", got)
+	}
+	tx.Commit()
+}

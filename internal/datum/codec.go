@@ -1,0 +1,257 @@
+package datum
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+)
+
+// AppendBinary appends a compact binary encoding of the value to dst
+// and returns the extended slice. The encoding is self-delimiting:
+// DecodeBinary can recover the value and the number of bytes consumed.
+// It is the on-disk format used by the write-ahead log.
+func (v Value) AppendBinary(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindBool:
+		dst = append(dst, byte(v.i))
+	case KindInt, KindTime, KindOID:
+		dst = binary.AppendVarint(dst, v.i)
+	case KindFloat:
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v.f))
+		dst = append(dst, buf[:]...)
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	case KindList:
+		dst = binary.AppendUvarint(dst, uint64(len(v.l)))
+		for _, e := range v.l {
+			dst = e.AppendBinary(dst)
+		}
+	}
+	return dst
+}
+
+// DecodeBinary decodes a value produced by AppendBinary from the front
+// of b, returning the value and the number of bytes consumed.
+func DecodeBinary(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return Value{}, 0, fmt.Errorf("datum: empty binary value")
+	}
+	k := Kind(b[0])
+	n := 1
+	switch k {
+	case KindNull:
+		return Value{}, n, nil
+	case KindBool:
+		if len(b) < 2 {
+			return Value{}, 0, fmt.Errorf("datum: truncated bool")
+		}
+		return Bool(b[1] != 0), 2, nil
+	case KindInt, KindTime, KindOID:
+		i, m := binary.Varint(b[n:])
+		if m <= 0 {
+			return Value{}, 0, fmt.Errorf("datum: truncated varint for kind %s", k)
+		}
+		return Value{kind: k, i: i}, n + m, nil
+	case KindFloat:
+		if len(b) < n+8 {
+			return Value{}, 0, fmt.Errorf("datum: truncated float")
+		}
+		f := math.Float64frombits(binary.BigEndian.Uint64(b[n : n+8]))
+		return Float(f), n + 8, nil
+	case KindString:
+		l, m := binary.Uvarint(b[n:])
+		if m <= 0 || len(b) < n+m+int(l) {
+			return Value{}, 0, fmt.Errorf("datum: truncated string")
+		}
+		n += m
+		return Str(string(b[n : n+int(l)])), n + int(l), nil
+	case KindList:
+		l, m := binary.Uvarint(b[n:])
+		if m <= 0 {
+			return Value{}, 0, fmt.Errorf("datum: truncated list length")
+		}
+		n += m
+		elems := make([]Value, 0, l)
+		for i := uint64(0); i < l; i++ {
+			e, m, err := DecodeBinary(b[n:])
+			if err != nil {
+				return Value{}, 0, fmt.Errorf("datum: list element %d: %w", i, err)
+			}
+			elems = append(elems, e)
+			n += m
+		}
+		return Value{kind: KindList, l: elems}, n, nil
+	default:
+		return Value{}, 0, fmt.Errorf("datum: unknown binary kind tag %d", b[0])
+	}
+}
+
+// jsonValue is the wire form of a Value used by the IPC protocol. The
+// kind tag keeps ints and floats distinct across the JSON boundary.
+type jsonValue struct {
+	K string          `json:"k"`
+	V json.RawMessage `json:"v,omitempty"`
+}
+
+// MarshalJSON encodes the value as {"k": kind, "v": payload}.
+func (v Value) MarshalJSON() ([]byte, error) {
+	jv := jsonValue{K: v.kind.String()}
+	var payload any
+	switch v.kind {
+	case KindNull:
+		return json.Marshal(jv)
+	case KindBool:
+		payload = v.i != 0
+	case KindInt:
+		payload = v.i
+	case KindFloat:
+		payload = v.f
+	case KindString:
+		payload = v.s
+	case KindTime:
+		payload = v.i // UnixNano
+	case KindOID:
+		payload = uint64(v.i)
+	case KindList:
+		payload = v.l
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	jv.V = raw
+	return json.Marshal(jv)
+}
+
+// UnmarshalJSON decodes a value written by MarshalJSON.
+func (v *Value) UnmarshalJSON(b []byte) error {
+	var jv jsonValue
+	if err := json.Unmarshal(b, &jv); err != nil {
+		return err
+	}
+	k, err := KindFromString(jv.K)
+	if err != nil {
+		return err
+	}
+	switch k {
+	case KindNull:
+		*v = Null()
+	case KindBool:
+		var b bool
+		if err := json.Unmarshal(jv.V, &b); err != nil {
+			return err
+		}
+		*v = Bool(b)
+	case KindInt:
+		var i int64
+		if err := json.Unmarshal(jv.V, &i); err != nil {
+			return err
+		}
+		*v = Int(i)
+	case KindFloat:
+		var f float64
+		if err := json.Unmarshal(jv.V, &f); err != nil {
+			return err
+		}
+		*v = Float(f)
+	case KindString:
+		var s string
+		if err := json.Unmarshal(jv.V, &s); err != nil {
+			return err
+		}
+		*v = Str(s)
+	case KindTime:
+		var i int64
+		if err := json.Unmarshal(jv.V, &i); err != nil {
+			return err
+		}
+		*v = Time(time.Unix(0, i))
+	case KindOID:
+		var o uint64
+		if err := json.Unmarshal(jv.V, &o); err != nil {
+			return err
+		}
+		*v = ID(OID(o))
+	case KindList:
+		var l []Value
+		if err := json.Unmarshal(jv.V, &l); err != nil {
+			return err
+		}
+		*v = Value{kind: KindList, l: l}
+	default:
+		return fmt.Errorf("datum: cannot unmarshal kind %s", k)
+	}
+	return nil
+}
+
+// EncodeMap appends a binary encoding of an attribute map (sorted by
+// attribute name for determinism) to dst.
+func EncodeMap(dst []byte, m map[string]Value) []byte {
+	keys := sortedKeys(m)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+		dst = m[k].AppendBinary(dst)
+	}
+	return dst
+}
+
+// DecodeMap decodes an attribute map written by EncodeMap from the
+// front of b, returning the map and bytes consumed.
+func DecodeMap(b []byte) (map[string]Value, int, error) {
+	cnt, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("datum: truncated map header")
+	}
+	m := make(map[string]Value, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		l, k := binary.Uvarint(b[n:])
+		if k <= 0 || len(b) < n+k+int(l) {
+			return nil, 0, fmt.Errorf("datum: truncated map key")
+		}
+		n += k
+		key := string(b[n : n+int(l)])
+		n += int(l)
+		v, m2, err := DecodeBinary(b[n:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("datum: map value for %q: %w", key, err)
+		}
+		m[key] = v
+		n += m2
+	}
+	return m, n, nil
+}
+
+func sortedKeys(m map[string]Value) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// insertion sort: maps here are small attribute sets
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// CloneMap returns a shallow copy of an attribute map. Values are
+// immutable, so a shallow copy is a safe snapshot.
+func CloneMap(m map[string]Value) map[string]Value {
+	if m == nil {
+		return nil
+	}
+	cp := make(map[string]Value, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	return cp
+}

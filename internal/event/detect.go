@@ -1,0 +1,482 @@
+package event
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/datum"
+	"repro/internal/lock"
+)
+
+// SubID identifies a programmed event subscription (one per rule
+// event, created by the Rule Manager via Define — the "Define Event"
+// operation of §5.3).
+type SubID uint64
+
+// Emit is the Rule Manager's "Signal Event" entry point (§5.4): it is
+// called synchronously on the goroutine where the event occurred, so
+// the triggering operation is suspended until it returns — exactly
+// the suspension the paper's §6.2 prescribes. A non-nil error
+// propagates to the triggering operation (e.g. an integrity rule
+// requesting abort).
+type Emit func(SubID, Signal) error
+
+// Stats counts detector activity.
+type Stats struct {
+	DatabaseSignals uint64 // primitive database occurrences examined
+	ExternalSignals uint64
+	TemporalFirings uint64
+	Emissions       uint64 // signals delivered to the Rule Manager
+}
+
+type dbKey struct {
+	op    Op
+	class string
+}
+
+type sub struct {
+	id       SubID
+	spec     Spec
+	disabled bool
+	removed  bool
+	parent   *sub
+	partIdx  int
+	children []*sub
+
+	// temporal state
+	timer     clock.Timer
+	fireCount int64
+
+	// composite state
+	seqNext     int
+	seqBindings map[string]datum.Value
+	conjSeen    []map[string]datum.Value
+}
+
+// Detectors is the set of event detectors: database, temporal,
+// external, and the composite-event automata layered over them. It is
+// safe for concurrent use.
+type Detectors struct {
+	mu      sync.Mutex
+	clk     clock.Clock
+	emit    Emit
+	nextSub SubID
+	subs    map[SubID]*sub
+	dbIndex map[dbKey][]*sub
+	extIdx  map[string][]*sub
+	stats   Stats
+
+	asyncErr func(error) // errors from temporal firings (no caller to return to)
+}
+
+// New returns detectors that report matched events to emit, using clk
+// for temporal events.
+func New(clk clock.Clock, emit Emit) *Detectors {
+	return &Detectors{
+		clk:     clk,
+		emit:    emit,
+		nextSub: 1,
+		subs:    map[SubID]*sub{},
+		dbIndex: map[dbKey][]*sub{},
+		extIdx:  map[string][]*sub{},
+	}
+}
+
+// SetAsyncErrorHandler installs a handler for errors raised by rule
+// processing of temporal events, which have no signalling caller to
+// return an error to. Not safe to call concurrently with detection.
+func (d *Detectors) SetAsyncErrorHandler(f func(error)) { d.asyncErr = f }
+
+// Define programs the detectors to report occurrences of spec,
+// returning the subscription id used in subsequent Enable, Disable,
+// and Delete calls and in emissions.
+func (d *Detectors) Define(spec Spec) (SubID, error) {
+	if spec == nil {
+		return 0, fmt.Errorf("event: nil spec")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, err := d.defineLocked(spec, nil, 0)
+	if err != nil {
+		return 0, err
+	}
+	return s.id, nil
+}
+
+func (d *Detectors) defineLocked(spec Spec, parent *sub, partIdx int) (*sub, error) {
+	s := &sub{id: d.nextSub, spec: spec, parent: parent, partIdx: partIdx}
+	d.nextSub++
+	d.subs[s.id] = s
+	switch v := spec.(type) {
+	case Database:
+		k := dbKey{op: v.Op, class: v.Class}
+		d.dbIndex[k] = append(d.dbIndex[k], s)
+	case External:
+		if v.Name == "" {
+			return nil, fmt.Errorf("event: external event needs a name")
+		}
+		d.extIdx[v.Name] = append(d.extIdx[v.Name], s)
+	case Temporal:
+		if err := d.defineTemporalLocked(s, v); err != nil {
+			return nil, err
+		}
+	case Composite:
+		if len(v.Parts) < 2 {
+			return nil, fmt.Errorf("event: composite %s needs at least two parts", v.Op)
+		}
+		switch v.Op {
+		case Disjunction, Sequence, Conjunction:
+		default:
+			return nil, fmt.Errorf("event: unknown composite operator %q", v.Op)
+		}
+		s.conjSeen = make([]map[string]datum.Value, len(v.Parts))
+		for i, part := range v.Parts {
+			child, err := d.defineLocked(part, s, i)
+			if err != nil {
+				return nil, err
+			}
+			s.children = append(s.children, child)
+		}
+	default:
+		return nil, fmt.Errorf("event: unsupported spec type %T", spec)
+	}
+	return s, nil
+}
+
+func (d *Detectors) defineTemporalLocked(s *sub, v Temporal) error {
+	switch v.Kind {
+	case Absolute:
+		delay := v.At.Sub(d.clk.Now())
+		if delay < 0 {
+			return nil // already past: never fires
+		}
+		s.timer = d.clk.AfterFunc(delay, func() { d.temporalFire(s, false) })
+	case Relative:
+		if v.Offset < 0 {
+			return fmt.Errorf("event: negative relative offset")
+		}
+		if v.Baseline == nil {
+			s.timer = d.clk.AfterFunc(v.Offset, func() { d.temporalFire(s, false) })
+		} else {
+			base, err := d.defineLocked(v.Baseline, s, -1)
+			if err != nil {
+				return err
+			}
+			s.children = append(s.children, base)
+		}
+	case Periodic:
+		if v.Period <= 0 {
+			return fmt.Errorf("event: periodic event needs a positive period")
+		}
+		if v.Baseline == nil {
+			s.timer = d.clk.AfterFunc(v.Period, func() { d.temporalFire(s, true) })
+		} else {
+			base, err := d.defineLocked(v.Baseline, s, -1)
+			if err != nil {
+				return err
+			}
+			s.children = append(s.children, base)
+		}
+	default:
+		return fmt.Errorf("event: unknown temporal kind %q", v.Kind)
+	}
+	return nil
+}
+
+// temporalFire handles a timer expiry for subscription s.
+func (d *Detectors) temporalFire(s *sub, periodic bool) {
+	var emits []emission
+	d.mu.Lock()
+	if s.removed || s.disabled {
+		d.mu.Unlock()
+		return
+	}
+	d.stats.TemporalFirings++
+	s.fireCount++
+	bindings := map[string]datum.Value{
+		"time":  datum.Time(d.clk.Now()),
+		"count": datum.Int(s.fireCount),
+	}
+	sig := Signal{Spec: s.spec, Time: d.clk.Now(), Bindings: bindings}
+	if periodic {
+		period := s.spec.(Temporal).Period
+		s.timer = d.clk.AfterFunc(period, func() { d.temporalFire(s, true) })
+	}
+	d.deliverLocked(s, sig, &emits)
+	d.stats.Emissions += uint64(len(emits))
+	d.mu.Unlock()
+	if err := d.send(emits); err != nil && d.asyncErr != nil {
+		d.asyncErr(err)
+	}
+}
+
+type emission struct {
+	id  SubID
+	sig Signal
+}
+
+// send dispatches queued emissions outside d.mu (rule processing may
+// re-enter the detectors, e.g. an action that signals another event)
+// and returns the first error.
+func (d *Detectors) send(emits []emission) error {
+	var first error
+	for _, e := range emits {
+		if err := d.emit(e.id, e.sig); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// deliverLocked routes a signal on subscription s upward: top-level
+// subscriptions are queued for emission to the Rule Manager;
+// composite parts feed their parent's automaton; temporal baselines
+// (re)arm their parent's timer. Caller holds d.mu.
+func (d *Detectors) deliverLocked(s *sub, sig Signal, emits *[]emission) {
+	if s.disabled || s.removed {
+		return
+	}
+	if s.parent == nil {
+		*emits = append(*emits, emission{id: s.id, sig: sig})
+		return
+	}
+	p := s.parent
+	if s.partIdx == -1 {
+		// Baseline occurrence for a relative or periodic temporal.
+		d.armFromBaseline(p)
+		return
+	}
+	comp, ok := p.spec.(Composite)
+	if !ok {
+		return
+	}
+	switch comp.Op {
+	case Disjunction:
+		out := Signal{Spec: p.spec, Time: sig.Time, Txn: sig.Txn, Bindings: sig.Bindings}
+		d.deliverLocked(p, out, emits)
+	case Sequence:
+		switch {
+		case s.partIdx == p.seqNext:
+			p.seqBindings = MergeBindings(p.seqBindings, sig.Bindings)
+			p.seqNext++
+			if p.seqNext == len(comp.Parts) {
+				out := Signal{Spec: p.spec, Time: sig.Time, Txn: sig.Txn, Bindings: p.seqBindings}
+				p.seqNext = 0
+				p.seqBindings = nil
+				d.deliverLocked(p, out, emits)
+			}
+		case s.partIdx == 0:
+			// Restart the sequence on a fresh first occurrence.
+			p.seqNext = 1
+			p.seqBindings = datum.CloneMap(sig.Bindings)
+		default:
+			// Out-of-order constituent: ignored.
+		}
+	case Conjunction:
+		seen := datum.CloneMap(sig.Bindings)
+		if seen == nil {
+			// A part with no bindings still counts as seen.
+			seen = map[string]datum.Value{}
+		}
+		p.conjSeen[s.partIdx] = seen
+		all := true
+		for _, b := range p.conjSeen {
+			if b == nil {
+				all = false
+				break
+			}
+		}
+		if all {
+			merged := map[string]datum.Value{}
+			for _, b := range p.conjSeen {
+				merged = MergeBindings(merged, b)
+			}
+			out := Signal{Spec: p.spec, Time: sig.Time, Txn: sig.Txn, Bindings: merged}
+			p.conjSeen = make([]map[string]datum.Value, len(comp.Parts))
+			d.deliverLocked(p, out, emits)
+		}
+	}
+}
+
+// armFromBaseline schedules parent's timer now that its baseline
+// event occurred. Caller holds d.mu.
+func (d *Detectors) armFromBaseline(p *sub) {
+	t, ok := p.spec.(Temporal)
+	if !ok || p.disabled || p.removed {
+		return
+	}
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	switch t.Kind {
+	case Relative:
+		p.timer = d.clk.AfterFunc(t.Offset, func() { d.temporalFire(p, false) })
+	case Periodic:
+		p.timer = d.clk.AfterFunc(t.Period, func() { d.temporalFire(p, true) })
+	}
+}
+
+// SignalDatabase reports a primitive database operation to every
+// matching subscription. It is called by the Object Manager (DDL/DML)
+// and the Transaction Manager (commit/abort), and runs rule
+// processing synchronously before returning.
+func (d *Detectors) SignalDatabase(op Op, class string, tx lock.TxnID, bindings map[string]datum.Value) error {
+	now := d.clk.Now()
+	var emits []emission
+	d.mu.Lock()
+	d.stats.DatabaseSignals++
+	keys := [4]dbKey{
+		{op: op, class: class},
+		{op: op, class: ""},
+		{op: OpAny, class: class},
+		{op: OpAny, class: ""},
+	}
+	seenKey := map[dbKey]bool{}
+	for _, k := range keys {
+		if seenKey[k] {
+			continue
+		}
+		seenKey[k] = true
+		for _, s := range d.dbIndex[k] {
+			sig := Signal{Spec: s.spec, Time: now, Txn: tx, Bindings: bindings}
+			d.deliverLocked(s, sig, &emits)
+		}
+	}
+	d.stats.Emissions += uint64(len(emits))
+	d.mu.Unlock()
+	return d.send(emits)
+}
+
+// SignalExternal reports an application-defined event occurrence
+// (§4.1 "signal"). tx is the transaction the application associates
+// with the occurrence (0 for none). Rule processing for immediate
+// couplings runs synchronously before SignalExternal returns.
+func (d *Detectors) SignalExternal(name string, tx lock.TxnID, args map[string]datum.Value) (int, error) {
+	now := d.clk.Now()
+	var emits []emission
+	d.mu.Lock()
+	d.stats.ExternalSignals++
+	for _, s := range d.extIdx[name] {
+		sig := Signal{Spec: s.spec, Time: now, Txn: tx, Bindings: args}
+		d.deliverLocked(s, sig, &emits)
+	}
+	d.stats.Emissions += uint64(len(emits))
+	d.mu.Unlock()
+	return len(emits), d.send(emits)
+}
+
+// Delete removes a subscription and all its internal children,
+// stopping any timers (§5.3: detection ceases when the last rule
+// using the event is deleted).
+func (d *Detectors) Delete(id SubID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s := d.subs[id]; s != nil {
+		d.removeLocked(s)
+	}
+}
+
+func (d *Detectors) removeLocked(s *sub) {
+	s.removed = true
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	delete(d.subs, s.id)
+	switch v := s.spec.(type) {
+	case Database:
+		k := dbKey{op: v.Op, class: v.Class}
+		d.dbIndex[k] = removeSub(d.dbIndex[k], s)
+		if len(d.dbIndex[k]) == 0 {
+			delete(d.dbIndex, k)
+		}
+	case External:
+		d.extIdx[v.Name] = removeSub(d.extIdx[v.Name], s)
+		if len(d.extIdx[v.Name]) == 0 {
+			delete(d.extIdx, v.Name)
+		}
+	}
+	for _, c := range s.children {
+		d.removeLocked(c)
+	}
+}
+
+func removeSub(list []*sub, s *sub) []*sub {
+	for i, x := range list {
+		if x == s {
+			return append(list[:i:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// Disable suspends detection/signalling for the subscription (§5.3
+// Disable Event). Timers of temporal subscriptions are stopped.
+func (d *Detectors) Disable(id SubID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s := d.subs[id]; s != nil {
+		d.setDisabledLocked(s, true)
+	}
+}
+
+// Enable resumes detection (§5.3 Enable Event). Relative and periodic
+// temporal subscriptions are re-armed from the enable instant;
+// absolute ones fire only if still in the future.
+func (d *Detectors) Enable(id SubID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s := d.subs[id]; s != nil {
+		d.setDisabledLocked(s, false)
+	}
+}
+
+func (d *Detectors) setDisabledLocked(s *sub, disabled bool) {
+	if s.disabled == disabled {
+		return
+	}
+	s.disabled = disabled
+	if t, ok := s.spec.(Temporal); ok {
+		if disabled {
+			if s.timer != nil {
+				s.timer.Stop()
+				s.timer = nil
+			}
+		} else if t.Baseline == nil {
+			switch t.Kind {
+			case Absolute:
+				if delay := t.At.Sub(d.clk.Now()); delay >= 0 {
+					s.timer = d.clk.AfterFunc(delay, func() { d.temporalFire(s, false) })
+				}
+			case Relative:
+				s.timer = d.clk.AfterFunc(t.Offset, func() { d.temporalFire(s, false) })
+			case Periodic:
+				s.timer = d.clk.AfterFunc(t.Period, func() { d.temporalFire(s, true) })
+			}
+		}
+	}
+	for _, c := range s.children {
+		d.setDisabledLocked(c, disabled)
+	}
+}
+
+// Subscriptions reports the number of live subscriptions including
+// internal composite children.
+func (d *Detectors) Subscriptions() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.subs)
+}
+
+// Stats returns a snapshot of the counters.
+func (d *Detectors) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Now exposes the detector clock (used by layers that timestamp
+// signals consistently with temporal events).
+func (d *Detectors) Now() time.Time { return d.clk.Now() }

@@ -1,0 +1,215 @@
+package event
+
+import (
+	"fmt"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// Parse reads an event specification in the canonical text syntax:
+//
+//	create(Stock)           database create on class Stock
+//	modify(Stock)           database modify
+//	delete(*)               database delete on any class
+//	anyop(Stock)            any operation on Stock
+//	defineClass(*)          DDL
+//	commit()  abort()       transaction control
+//	external(TradeDone)     application-defined event
+//	at(2026-07-06T09:30:00Z)           absolute temporal
+//	after(5s)  after(commit(), 5s)     relative temporal
+//	every(1m)  every(external(X), 1m)  periodic temporal
+//	or(e1, e2, ...)         disjunction
+//	seq(e1, e2, ...)        sequence
+//	and(e1, e2, ...)        conjunction (extension)
+func Parse(input string) (Spec, error) {
+	p := &specParser{src: input}
+	spec, err := p.parseSpec()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("event: trailing input at %d: %q", p.pos, p.src[p.pos:])
+	}
+	return spec, nil
+}
+
+// MustParse is Parse that panics on error; for tests and constants.
+func MustParse(input string) Spec {
+	s, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type specParser struct {
+	src string
+	pos int
+}
+
+func (p *specParser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *specParser) ident() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || unicode.IsLetter(rune(c)) || (p.pos > start && unicode.IsDigit(rune(c))) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *specParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return fmt.Errorf("event: expected %q at %d in %q", string(c), p.pos, p.src)
+	}
+	p.pos++
+	return nil
+}
+
+// argText reads raw text up to the next top-level ',' or ')'.
+func (p *specParser) argText() string {
+	p.skipSpace()
+	depth := 0
+	start := p.pos
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '(':
+			depth++
+		case ')':
+			if depth == 0 {
+				return strings.TrimSpace(p.src[start:p.pos])
+			}
+			depth--
+		case ',':
+			if depth == 0 {
+				return strings.TrimSpace(p.src[start:p.pos])
+			}
+		}
+		p.pos++
+	}
+	return strings.TrimSpace(p.src[start:p.pos])
+}
+
+func (p *specParser) parseSpec() (Spec, error) {
+	p.skipSpace()
+	name := p.ident()
+	if name == "" {
+		return nil, fmt.Errorf("event: expected event name at %d in %q", p.pos, p.src)
+	}
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	switch name {
+	case "create", "modify", "delete", "defineClass", "dropClass", "anyop":
+		cls := p.argText()
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if cls == "*" {
+			cls = ""
+		}
+		op := Op(name)
+		if name == "anyop" {
+			op = OpAny
+		}
+		return Database{Op: op, Class: cls}, nil
+
+	case "commit", "abort":
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return Database{Op: Op(name)}, nil
+
+	case "external":
+		n := p.argText()
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if n == "" {
+			return nil, fmt.Errorf("event: external() needs a name")
+		}
+		return External{Name: n}, nil
+
+	case "at":
+		txt := p.argText()
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		at, err := time.Parse(time.RFC3339Nano, txt)
+		if err != nil {
+			at, err = time.Parse(time.RFC3339, txt)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("event: at(): bad time %q: %w", txt, err)
+		}
+		return Temporal{Kind: Absolute, At: at}, nil
+
+	case "after", "every":
+		// One arg: duration. Two args: baseline spec, duration.
+		save := p.pos
+		var baseline Spec
+		txt := p.argText()
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == ',' {
+			// Two-arg form: re-parse the first arg as a spec.
+			p.pos = save
+			base, err := p.parseSpec()
+			if err != nil {
+				return nil, fmt.Errorf("event: %s(): baseline: %w", name, err)
+			}
+			baseline = base
+			if err := p.expect(','); err != nil {
+				return nil, err
+			}
+			txt = p.argText()
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		d, err := time.ParseDuration(txt)
+		if err != nil {
+			return nil, fmt.Errorf("event: %s(): bad duration %q: %w", name, txt, err)
+		}
+		if name == "after" {
+			return Temporal{Kind: Relative, Offset: d, Baseline: baseline}, nil
+		}
+		return Temporal{Kind: Periodic, Period: d, Baseline: baseline}, nil
+
+	case "or", "seq", "and":
+		var parts []Spec
+		for {
+			part, err := p.parseSpec()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, part)
+			p.skipSpace()
+			if p.pos < len(p.src) && p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("event: %s() needs at least two parts", name)
+		}
+		return Composite{Op: CompOp(name), Parts: parts}, nil
+
+	default:
+		return nil, fmt.Errorf("event: unknown event form %q", name)
+	}
+}

@@ -1,0 +1,287 @@
+// Package event implements the HiPAC event model (§2.1 of the paper):
+// primitive events — database operations, temporal events (absolute,
+// relative, periodic), and application-defined external events — and
+// composite events built from them with disjunction and sequence
+// operators (plus conjunction, an extension flagged as such). It also
+// implements the event detectors of §5.3, which the Rule Manager
+// programs when rules are created.
+package event
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/lock"
+)
+
+// Op is a database operation type, the subject of database events.
+// The paper groups these as data definition, data manipulation, and
+// transaction control.
+type Op string
+
+// Database operation types.
+const (
+	OpAny         Op = ""            // wildcard in specifications
+	OpCreate      Op = "create"      // DML: object creation
+	OpModify      Op = "modify"      // DML: attribute update
+	OpDelete      Op = "delete"      // DML: object deletion
+	OpDefineClass Op = "defineClass" // DDL
+	OpDropClass   Op = "dropClass"   // DDL
+	OpCommit      Op = "commit"      // transaction control
+	OpAbort       Op = "abort"       // transaction control
+)
+
+// Spec describes an event that can trigger rules. Specs are values;
+// they are stored in rule objects and shipped over IPC, so every
+// implementation is JSON-serializable via MarshalSpec/UnmarshalSpec
+// and has a canonical String form parseable by Parse.
+type Spec interface {
+	// String renders the spec in the canonical text syntax.
+	String() string
+	isSpec()
+}
+
+// Database matches database operations. A zero Op matches any
+// operation; an empty Class matches any class.
+type Database struct {
+	Op    Op
+	Class string
+}
+
+func (Database) isSpec() {}
+
+// String renders e.g. `modify(Stock)`, `create(*)`, `commit()`.
+func (d Database) String() string {
+	op := string(d.Op)
+	if op == "" {
+		op = "anyop"
+	}
+	switch d.Op {
+	case OpCommit, OpAbort:
+		return op + "()"
+	}
+	cls := d.Class
+	if cls == "" {
+		cls = "*"
+	}
+	return fmt.Sprintf("%s(%s)", op, cls)
+}
+
+// TemporalKind distinguishes the three temporal event forms of §2.1.
+type TemporalKind string
+
+// Temporal event kinds.
+const (
+	Absolute TemporalKind = "absolute"
+	Relative TemporalKind = "relative"
+	Periodic TemporalKind = "periodic"
+)
+
+// Temporal matches instants in time. Absolute fires once at At.
+// Relative fires once, Offset after its baseline (the moment the
+// detector is programmed when Baseline is nil, else each baseline
+// event occurrence). Periodic fires every Period after its baseline.
+type Temporal struct {
+	Kind     TemporalKind
+	At       time.Time     // Absolute only
+	Offset   time.Duration // Relative only
+	Period   time.Duration // Periodic only
+	Baseline Spec          // Relative/Periodic; nil = detector programming time
+}
+
+func (Temporal) isSpec() {}
+
+// String renders e.g. `at(2026-07-06T09:30:00Z)`, `after(5s)`,
+// `after(commit(), 5s)`, `every(1m)`.
+func (t Temporal) String() string {
+	switch t.Kind {
+	case Absolute:
+		return fmt.Sprintf("at(%s)", t.At.UTC().Format(time.RFC3339Nano))
+	case Relative:
+		if t.Baseline != nil {
+			return fmt.Sprintf("after(%s, %s)", t.Baseline, t.Offset)
+		}
+		return fmt.Sprintf("after(%s)", t.Offset)
+	case Periodic:
+		if t.Baseline != nil {
+			return fmt.Sprintf("every(%s, %s)", t.Baseline, t.Period)
+		}
+		return fmt.Sprintf("every(%s)", t.Period)
+	default:
+		return fmt.Sprintf("temporal(%s)", t.Kind)
+	}
+}
+
+// External matches application-defined events signalled by name
+// (§2.1 item 3; §4.1 "define" and "signal" operations).
+type External struct {
+	Name string
+}
+
+func (External) isSpec() {}
+
+// String renders `external(Name)`.
+func (e External) String() string { return fmt.Sprintf("external(%s)", e.Name) }
+
+// CompOp is a composite event operator.
+type CompOp string
+
+// Composite operators. The paper specifies disjunction and sequence;
+// conjunction is implemented as a documented extension.
+const (
+	Disjunction CompOp = "or"
+	Sequence    CompOp = "seq"
+	Conjunction CompOp = "and"
+)
+
+// Composite combines sub-events. Disjunction signals when any part
+// signals; Sequence when the parts signal in order; Conjunction when
+// all parts have signalled in any order. Bindings of the constituent
+// signals are merged, later constituents winning name collisions.
+type Composite struct {
+	Op    CompOp
+	Parts []Spec
+}
+
+func (Composite) isSpec() {}
+
+// String renders e.g. `seq(modify(Stock), external(TradeExecuted))`.
+func (c Composite) String() string {
+	parts := make([]string, len(c.Parts))
+	for i, p := range c.Parts {
+		parts[i] = p.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Op, strings.Join(parts, ", "))
+}
+
+// Signal is an event occurrence: which spec matched, when, in which
+// transaction (0 when outside any transaction, e.g. temporal events),
+// and the argument bindings carried to conditions and actions.
+//
+// Binding name conventions for database events: "op", "class", "oid",
+// and "old_<attr>" / "new_<attr>" for modified attributes. External
+// events carry their declared parameters. Temporal events carry
+// "time" and, for periodic events, "count".
+type Signal struct {
+	Spec     Spec
+	Time     time.Time
+	Txn      lock.TxnID
+	Bindings map[string]datum.Value
+}
+
+// MergeBindings returns a new map holding first overlaid with second
+// (second wins collisions).
+func MergeBindings(first, second map[string]datum.Value) map[string]datum.Value {
+	out := make(map[string]datum.Value, len(first)+len(second))
+	for k, v := range first {
+		out[k] = v
+	}
+	for k, v := range second {
+		out[k] = v
+	}
+	return out
+}
+
+// --- JSON encoding of specs (tagged union) ---
+
+type specJSON struct {
+	Type     string            `json:"type"`
+	Op       string            `json:"op,omitempty"`
+	Class    string            `json:"class,omitempty"`
+	Kind     string            `json:"kind,omitempty"`
+	At       int64             `json:"at,omitempty"` // UnixNano
+	HasAt    bool              `json:"hasAt,omitempty"`
+	Offset   int64             `json:"offset,omitempty"`
+	Period   int64             `json:"period,omitempty"`
+	Baseline json.RawMessage   `json:"baseline,omitempty"`
+	Name     string            `json:"name,omitempty"`
+	CompOp   string            `json:"compOp,omitempty"`
+	Parts    []json.RawMessage `json:"parts,omitempty"`
+}
+
+// MarshalSpec encodes a spec to JSON.
+func MarshalSpec(s Spec) ([]byte, error) {
+	switch v := s.(type) {
+	case Database:
+		return json.Marshal(specJSON{Type: "db", Op: string(v.Op), Class: v.Class})
+	case Temporal:
+		sj := specJSON{Type: "temporal", Kind: string(v.Kind),
+			Offset: int64(v.Offset), Period: int64(v.Period)}
+		if v.Kind == Absolute {
+			// Absolute instants round-trip as UnixNano; the zero At is
+			// not meaningful for the other kinds.
+			sj.At = v.At.UnixNano()
+			sj.HasAt = true
+		}
+		if v.Baseline != nil {
+			raw, err := MarshalSpec(v.Baseline)
+			if err != nil {
+				return nil, err
+			}
+			sj.Baseline = raw
+		}
+		return json.Marshal(sj)
+	case External:
+		return json.Marshal(specJSON{Type: "external", Name: v.Name})
+	case Composite:
+		sj := specJSON{Type: "composite", CompOp: string(v.Op)}
+		for _, p := range v.Parts {
+			raw, err := MarshalSpec(p)
+			if err != nil {
+				return nil, err
+			}
+			sj.Parts = append(sj.Parts, raw)
+		}
+		return json.Marshal(sj)
+	case nil:
+		return []byte("null"), nil
+	default:
+		return nil, fmt.Errorf("event: cannot marshal spec of type %T", s)
+	}
+}
+
+// UnmarshalSpec decodes a spec written by MarshalSpec.
+func UnmarshalSpec(b []byte) (Spec, error) {
+	if string(b) == "null" || len(b) == 0 {
+		return nil, nil
+	}
+	var sj specJSON
+	if err := json.Unmarshal(b, &sj); err != nil {
+		return nil, fmt.Errorf("event: bad spec json: %w", err)
+	}
+	switch sj.Type {
+	case "db":
+		return Database{Op: Op(sj.Op), Class: sj.Class}, nil
+	case "temporal":
+		t := Temporal{Kind: TemporalKind(sj.Kind), Offset: time.Duration(sj.Offset),
+			Period: time.Duration(sj.Period)}
+		if sj.HasAt {
+			t.At = time.Unix(0, sj.At)
+		}
+		if len(sj.Baseline) > 0 {
+			base, err := UnmarshalSpec(sj.Baseline)
+			if err != nil {
+				return nil, err
+			}
+			t.Baseline = base
+		}
+		return t, nil
+	case "external":
+		return External{Name: sj.Name}, nil
+	case "composite":
+		c := Composite{Op: CompOp(sj.CompOp)}
+		for _, raw := range sj.Parts {
+			p, err := UnmarshalSpec(raw)
+			if err != nil {
+				return nil, err
+			}
+			c.Parts = append(c.Parts, p)
+		}
+		return c, nil
+	default:
+		return nil, fmt.Errorf("event: unknown spec type %q", sj.Type)
+	}
+}

@@ -1,0 +1,126 @@
+// Package feed generates deterministic synthetic security price
+// quotes. It replaces the wire service the paper's Securities
+// Analyst's Assistant read (NYSE quotes): the reproduction needs the
+// same code path — an external process repeatedly updating stock
+// prices in the database — with reproducible data (see the
+// substitution table in DESIGN.md).
+//
+// Prices follow a clamped geometric random walk from a seeded PRNG,
+// so a given (seed, symbols, steps) always yields the same tape.
+package feed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Quote is one price observation.
+type Quote struct {
+	Symbol string
+	Price  float64
+	Seq    int // position in the tape, 0-based
+}
+
+// Generator produces quote tapes.
+type Generator struct {
+	rng     *rand.Rand
+	symbols []string
+	prices  []float64
+	drift   float64
+	vol     float64
+	seq     int
+}
+
+// Config configures a Generator.
+type Config struct {
+	// Seed makes the tape reproducible.
+	Seed int64
+	// Symbols to quote; empty uses a default basket evocative of the
+	// paper's era.
+	Symbols []string
+	// InitialPrice is the starting price for every symbol (default
+	// 50, Xerox's strike in the paper's example rule).
+	InitialPrice float64
+	// Drift is the per-step expected log-return (default 0).
+	Drift float64
+	// Volatility is the per-step log-return standard deviation
+	// (default 0.01).
+	Volatility float64
+}
+
+// DefaultSymbols is the default basket.
+var DefaultSymbols = []string{"XRX", "IBM", "DEC", "GM", "F", "T", "GE", "KO"}
+
+// New returns a generator.
+func New(cfg Config) *Generator {
+	symbols := cfg.Symbols
+	if len(symbols) == 0 {
+		symbols = append([]string(nil), DefaultSymbols...)
+	}
+	initial := cfg.InitialPrice
+	if initial <= 0 {
+		initial = 50
+	}
+	vol := cfg.Volatility
+	if vol <= 0 {
+		vol = 0.01
+	}
+	g := &Generator{
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		symbols: symbols,
+		prices:  make([]float64, len(symbols)),
+		drift:   cfg.Drift,
+		vol:     vol,
+	}
+	for i := range g.prices {
+		g.prices[i] = initial
+	}
+	return g
+}
+
+// Symbols returns the symbols quoted by this generator.
+func (g *Generator) Symbols() []string {
+	return append([]string(nil), g.symbols...)
+}
+
+// Next returns the next quote on the tape: a uniformly chosen symbol
+// stepped by the random walk. Prices are rounded to cents and clamped
+// to at least one cent.
+func (g *Generator) Next() Quote {
+	i := g.rng.Intn(len(g.symbols))
+	step := math.Exp(g.drift + g.vol*g.rng.NormFloat64())
+	p := g.prices[i] * step
+	p = math.Round(p*100) / 100
+	// Clamp to a sane band so cent precision survives float64 and
+	// long tapes stay bounded.
+	if p < 0.01 {
+		p = 0.01
+	}
+	if p > 1e6 {
+		p = 1e6
+	}
+	g.prices[i] = p
+	q := Quote{Symbol: g.symbols[i], Price: p, Seq: g.seq}
+	g.seq++
+	return q
+}
+
+// Take returns the next n quotes.
+func (g *Generator) Take(n int) []Quote {
+	out := make([]Quote, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Price returns the current price of a symbol.
+func (g *Generator) Price(symbol string) (float64, error) {
+	for i, s := range g.symbols {
+		if s == symbol {
+			return g.prices[i], nil
+		}
+	}
+	return 0, fmt.Errorf("feed: unknown symbol %q", symbol)
+}

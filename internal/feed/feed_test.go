@@ -1,0 +1,79 @@
+package feed
+
+import "testing"
+
+func TestDeterministic(t *testing.T) {
+	a := New(Config{Seed: 42})
+	b := New(Config{Seed: 42})
+	for i := 0; i < 1000; i++ {
+		qa, qb := a.Next(), b.Next()
+		if qa != qb {
+			t.Fatalf("tape diverged at %d: %v vs %v", i, qa, qb)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(Config{Seed: 1})
+	b := New(Config{Seed: 2})
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical tapes")
+	}
+}
+
+func TestPricesPositiveAndRounded(t *testing.T) {
+	g := New(Config{Seed: 7, Volatility: 0.5}) // violent walk
+	for i := 0; i < 10_000; i++ {
+		q := g.Next()
+		if q.Price < 0.01 {
+			t.Fatalf("price %v below one cent", q.Price)
+		}
+		cents := q.Price * 100
+		if diff := cents - float64(int64(cents+0.5)); diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("price %v not rounded to cents", q.Price)
+		}
+		if q.Seq != i {
+			t.Fatalf("seq = %d, want %d", q.Seq, i)
+		}
+	}
+}
+
+func TestSymbolsDefaultAndCustom(t *testing.T) {
+	g := New(Config{})
+	if len(g.Symbols()) != len(DefaultSymbols) {
+		t.Fatal("default basket wrong")
+	}
+	g2 := New(Config{Symbols: []string{"A", "B"}})
+	if len(g2.Symbols()) != 2 {
+		t.Fatal("custom basket wrong")
+	}
+	q := g2.Next()
+	if q.Symbol != "A" && q.Symbol != "B" {
+		t.Fatalf("symbol %q outside basket", q.Symbol)
+	}
+}
+
+func TestPriceLookup(t *testing.T) {
+	g := New(Config{InitialPrice: 10})
+	p, err := g.Price("XRX")
+	if err != nil || p != 10 {
+		t.Fatalf("price = %v, %v", p, err)
+	}
+	if _, err := g.Price("NOPE"); err == nil {
+		t.Fatal("unknown symbol accepted")
+	}
+}
+
+func TestTake(t *testing.T) {
+	g := New(Config{Seed: 3})
+	quotes := g.Take(50)
+	if len(quotes) != 50 || quotes[49].Seq != 49 {
+		t.Fatalf("take = %d quotes", len(quotes))
+	}
+}

@@ -1,0 +1,287 @@
+// Package ipc defines the wire protocol between application programs
+// and the HiPAC server: length-prefixed JSON messages over a stream
+// connection. The same connection carries requests in both
+// directions — applications invoke DBMS operations, and the DBMS
+// sends application requests back when rule actions name application
+// operations (the §4.1 role reversal: "the same underlying operating
+// system facility can be used to reverse the direction in which
+// requests and replies are transmitted").
+package ipc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/datum"
+	"repro/internal/object"
+	"repro/internal/rule"
+)
+
+// MaxFrame bounds a single message (16 MiB); larger frames are
+// protocol errors.
+const MaxFrame = 16 << 20
+
+// Message kinds.
+const (
+	// KindRequest is a client-to-server operation request.
+	KindRequest = "req"
+	// KindReply answers a request.
+	KindReply = "rep"
+	// KindAppCall is a server-to-client application request (a rule
+	// action's "request" step).
+	KindAppCall = "call"
+	// KindAppReply answers an application request.
+	KindAppReply = "callrep"
+)
+
+// Message is one protocol frame.
+type Message struct {
+	ID   uint64          `json:"id"`
+	Kind string          `json:"kind"`
+	Op   string          `json:"op,omitempty"`
+	Err  string          `json:"err,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Write frames and writes one message.
+func Write(w io.Writer, m *Message) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("ipc: marshal: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("ipc: frame too large (%d bytes)", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// Read reads one framed message.
+func Read(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("ipc: frame too large (%d bytes)", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("ipc: unmarshal: %w", err)
+	}
+	return &m, nil
+}
+
+// EncodeBody marshals a payload struct into a message body.
+func EncodeBody(v any) (json.RawMessage, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("ipc: encode body: %w", err)
+	}
+	return raw, nil
+}
+
+// DecodeBody unmarshals a message body into a payload struct.
+func DecodeBody(m *Message, v any) error {
+	if len(m.Body) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(m.Body, v); err != nil {
+		return fmt.Errorf("ipc: decode %s body: %w", m.Op, err)
+	}
+	return nil
+}
+
+// Operation names carried in Message.Op.
+const (
+	OpBegin       = "begin"
+	OpChild       = "child"
+	OpCommit      = "commit"
+	OpAbort       = "abort"
+	OpDefineClass = "defineClass"
+	OpDropClass   = "dropClass"
+	OpClasses     = "classes"
+	OpCreate      = "create"
+	OpModify      = "modify"
+	OpDelete      = "delete"
+	OpGet         = "get"
+	OpQuery       = "query"
+	OpDefineEvent = "defineEvent"
+	OpSignalEvent = "signalEvent"
+	OpCreateRule  = "createRule"
+	OpUpdateRule  = "updateRule"
+	OpDeleteRule  = "deleteRule"
+	OpEnableRule  = "enableRule"
+	OpDisableRule = "disableRule"
+	OpFireRule    = "fireRule"
+	OpListRules   = "listRules"
+	OpServe       = "serve"
+	OpStats       = "stats"
+	OpGraph       = "graph"
+)
+
+// TxnRef names a transaction in requests.
+type TxnRef struct {
+	Txn uint64 `json:"txn"`
+}
+
+// BeginRep returns the new transaction id.
+type BeginRep struct {
+	Txn uint64 `json:"txn"`
+}
+
+// DefineClassReq carries a class definition.
+type DefineClassReq struct {
+	Txn   uint64       `json:"txn"`
+	Class object.Class `json:"class"`
+}
+
+// DropClassReq names a class to drop.
+type DropClassReq struct {
+	Txn  uint64 `json:"txn"`
+	Name string `json:"name"`
+}
+
+// ClassesRep lists class definitions.
+type ClassesRep struct {
+	Classes []object.Class `json:"classes"`
+}
+
+// CreateReq creates an object.
+type CreateReq struct {
+	Txn   uint64                 `json:"txn"`
+	Class string                 `json:"class"`
+	Attrs map[string]datum.Value `json:"attrs"`
+}
+
+// CreateRep returns the new object's OID.
+type CreateRep struct {
+	OID uint64 `json:"oid"`
+}
+
+// ModifyReq updates an object.
+type ModifyReq struct {
+	Txn   uint64                 `json:"txn"`
+	OID   uint64                 `json:"oid"`
+	Attrs map[string]datum.Value `json:"attrs"`
+}
+
+// DeleteReq deletes an object.
+type DeleteReq struct {
+	Txn uint64 `json:"txn"`
+	OID uint64 `json:"oid"`
+}
+
+// GetReq fetches an object.
+type GetReq struct {
+	Txn uint64 `json:"txn"`
+	OID uint64 `json:"oid"`
+}
+
+// GetRep returns an object's state.
+type GetRep struct {
+	OID   uint64                 `json:"oid"`
+	Class string                 `json:"class"`
+	Attrs map[string]datum.Value `json:"attrs"`
+}
+
+// QueryReq evaluates a select statement.
+type QueryReq struct {
+	Txn  uint64                 `json:"txn"`
+	Src  string                 `json:"src"`
+	Args map[string]datum.Value `json:"args,omitempty"`
+}
+
+// QueryRep returns a result set.
+type QueryRep struct {
+	Columns []string        `json:"columns"`
+	Rows    [][]datum.Value `json:"rows"`
+}
+
+// DefineEventReq defines an external event.
+type DefineEventReq struct {
+	Name   string   `json:"name"`
+	Params []string `json:"params,omitempty"`
+}
+
+// SignalEventReq signals an external event. Txn 0 means outside any
+// transaction.
+type SignalEventReq struct {
+	Txn  uint64                 `json:"txn"`
+	Name string                 `json:"name"`
+	Args map[string]datum.Value `json:"args,omitempty"`
+}
+
+// CreateRuleReq carries a rule definition.
+type CreateRuleReq struct {
+	Def rule.Def `json:"def"`
+}
+
+// RuleNameReq names a rule (delete/enable/disable).
+type RuleNameReq struct {
+	Name string `json:"name"`
+}
+
+// FireRuleReq fires a rule manually.
+type FireRuleReq struct {
+	Txn  uint64                 `json:"txn"`
+	Name string                 `json:"name"`
+	Args map[string]datum.Value `json:"args,omitempty"`
+}
+
+// RuleInfo describes one registered rule.
+type RuleInfo struct {
+	Name    string `json:"name"`
+	Event   string `json:"event"`
+	EC      string `json:"ec"`
+	CA      string `json:"ca"`
+	Enabled bool   `json:"enabled"`
+}
+
+// ListRulesRep lists registered rules.
+type ListRulesRep struct {
+	Rules []RuleInfo `json:"rules"`
+}
+
+// ServeReq declares the application operations this connection
+// serves; the server routes matching rule-action requests to it.
+type ServeReq struct {
+	Ops []string `json:"ops"`
+}
+
+// GraphNode describes one condition-graph node (rule-base tooling).
+type GraphNode struct {
+	Query     string `json:"query"`
+	Refs      int    `json:"refs"`
+	EventFree bool   `json:"eventFree"`
+	Cached    bool   `json:"cached"`
+}
+
+// GraphRep lists the condition graph.
+type GraphRep struct {
+	Nodes []GraphNode `json:"nodes"`
+}
+
+// AppCallBody is the body of a server-to-client application request
+// and of an in-process dispatch.
+type AppCallBody struct {
+	Op   string                 `json:"op"`
+	Args map[string]datum.Value `json:"args,omitempty"`
+}
+
+// AppReplyBody answers an application request.
+type AppReplyBody struct {
+	Reply map[string]datum.Value `json:"reply,omitempty"`
+}

@@ -1,0 +1,96 @@
+package ipc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/datum"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	body, err := EncodeBody(CreateReq{Txn: 7, Class: "Stock",
+		Attrs: map[string]datum.Value{"price": datum.Float(50)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Message{ID: 42, Kind: KindRequest, Op: OpCreate, Body: body}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 42 || got.Kind != KindRequest || got.Op != OpCreate {
+		t.Fatalf("got %+v", got)
+	}
+	var req CreateReq
+	if err := DecodeBody(got, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Txn != 7 || req.Class != "Stock" || req.Attrs["price"].AsFloat() != 50 {
+		t.Fatalf("req = %+v", req)
+	}
+}
+
+func TestMultipleMessagesOnStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := uint64(1); i <= 5; i++ {
+		Write(&buf, &Message{ID: i, Kind: KindReply})
+	}
+	for i := uint64(1); i <= 5; i++ {
+		m, err := Read(&buf)
+		if err != nil || m.ID != i {
+			t.Fatalf("message %d: %v %v", i, m, err)
+		}
+	}
+	if _, err := Read(&buf); err != io.EOF {
+		t.Fatalf("EOF expected, got %v", err)
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	Write(&buf, &Message{ID: 1, Kind: KindReply})
+	data := buf.Bytes()
+	for i := 1; i < len(data); i++ {
+		if _, err := Read(bytes.NewReader(data[:i])); err == nil {
+			t.Fatalf("%d-byte prefix should fail", i)
+		}
+	}
+}
+
+func TestReadOversizedFrame(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := Read(bytes.NewReader(hdr[:])); err == nil ||
+		!strings.Contains(err.Error(), "too large") {
+		t.Fatalf("oversized frame: %v", err)
+	}
+}
+
+func TestReadGarbageJSON(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("not json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("garbage payload should fail")
+	}
+}
+
+func TestDecodeEmptyBody(t *testing.T) {
+	var req TxnRef
+	if err := DecodeBody(&Message{}, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Txn != 0 {
+		t.Fatal("empty body should leave zero value")
+	}
+}

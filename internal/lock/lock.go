@@ -1,0 +1,311 @@
+// Package lock implements the lock manager for the nested transaction
+// model of Moss as used by HiPAC (§3.1, §3.3 of the paper).
+//
+// The central rule is Moss's: a transaction may acquire a lock in mode
+// m if and only if every holder of a conflicting mode is an ancestor
+// of the requester. When a subtransaction commits, its locks are
+// inherited by (transferred to) its parent; when it aborts they are
+// released. Because a parent is suspended while its children run, an
+// ancestor-held lock can never be in active use by a concurrent
+// computation, which is what makes the rule safe.
+//
+// Deadlocks are detected at block time by a cycle search over the
+// waits-for graph. The graph has two edge kinds: a waiter points at
+// each conflicting non-ancestor holder of the item it wants, and a
+// suspended holder points at each of its waiting descendants (the
+// descendant is the computation actually running on the holder's
+// behalf, so the holder cannot release anything until the descendant
+// proceeds). The requester that closes a cycle receives ErrDeadlock.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// TxnID identifies a transaction. ID 0 is reserved for "committed
+// top-level state" and never holds locks.
+type TxnID uint64
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes in increasing strength.
+const (
+	// Shared permits concurrent readers.
+	Shared Mode = iota
+	// Exclusive permits a single writer.
+	Exclusive
+)
+
+// String returns "S" or "X".
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// conflicts reports whether two modes cannot be held concurrently by
+// unrelated transactions.
+func conflicts(a, b Mode) bool { return a == Exclusive || b == Exclusive }
+
+// Item names a lockable resource ("obj/#12", "class/Stock",
+// "rule/#7", ...). Naming conventions live in the layers above.
+type Item string
+
+// Topology lets the lock manager ask about transaction ancestry. The
+// transaction manager implements it.
+type Topology interface {
+	// IsAncestorOrSelf reports whether anc is desc or a (transitive)
+	// parent of desc.
+	IsAncestorOrSelf(anc, desc TxnID) bool
+}
+
+// Errors returned by Acquire.
+var (
+	ErrDeadlock = errors.New("lock: deadlock detected")
+	ErrCanceled = errors.New("lock: wait canceled")
+)
+
+// Stats counts lock-manager activity; read with Manager.Stats.
+type Stats struct {
+	Acquired  uint64 // grants, including re-grants and upgrades
+	Waited    uint64 // times a request had to block
+	Deadlocks uint64 // requests refused with ErrDeadlock
+}
+
+type waitRecord struct {
+	item Item
+	mode Mode
+}
+
+type entry struct {
+	holders map[TxnID]Mode // strongest mode held by each transaction
+}
+
+// Manager is the lock manager. It is safe for concurrent use.
+type Manager struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	top      Topology
+	locks    map[Item]*entry
+	waits    map[TxnID]waitRecord // who is blocked, and on what
+	canceled map[TxnID]bool
+	stats    Stats
+}
+
+// NewManager returns a lock manager that resolves ancestry through
+// top.
+func NewManager(top Topology) *Manager {
+	m := &Manager{
+		top:      top,
+		locks:    map[Item]*entry{},
+		waits:    map[TxnID]waitRecord{},
+		canceled: map[TxnID]bool{},
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Acquire blocks until tx holds item in at least the requested mode,
+// a deadlock is detected (ErrDeadlock), or the wait is canceled
+// (ErrCanceled). Re-acquiring an already-held mode is a cheap no-op;
+// requesting Exclusive over a held Shared is an upgrade and follows
+// the same conflict rule.
+func (m *Manager) Acquire(tx TxnID, item Item, mode Mode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.canceled[tx] {
+			delete(m.waits, tx)
+			return fmt.Errorf("%w (txn %d, item %q)", ErrCanceled, tx, item)
+		}
+		e := m.locks[item]
+		if e == nil {
+			e = &entry{holders: map[TxnID]Mode{}}
+			m.locks[item] = e
+		}
+		if m.grantable(e, tx, mode) {
+			if cur, ok := e.holders[tx]; !ok || mode > cur {
+				e.holders[tx] = mode
+			}
+			delete(m.waits, tx)
+			m.stats.Acquired++
+			return nil
+		}
+		if _, alreadyWaiting := m.waits[tx]; !alreadyWaiting {
+			m.stats.Waited++
+		}
+		m.waits[tx] = waitRecord{item: item, mode: mode}
+		if m.inCycle(tx) {
+			delete(m.waits, tx)
+			m.stats.Deadlocks++
+			return fmt.Errorf("%w (txn %d, item %q, mode %s)", ErrDeadlock, tx, item, mode)
+		}
+		m.cond.Wait()
+	}
+}
+
+// TryAcquire attempts the grant without blocking, reporting success.
+func (m *Manager) TryAcquire(tx TxnID, item Item, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.locks[item]
+	if e == nil {
+		e = &entry{holders: map[TxnID]Mode{}}
+		m.locks[item] = e
+	}
+	if !m.grantable(e, tx, mode) {
+		return false
+	}
+	if cur, ok := e.holders[tx]; !ok || mode > cur {
+		e.holders[tx] = mode
+	}
+	m.stats.Acquired++
+	return true
+}
+
+// grantable implements Moss's rule. Caller holds m.mu.
+func (m *Manager) grantable(e *entry, tx TxnID, mode Mode) bool {
+	for h, hm := range e.holders {
+		if h == tx {
+			continue
+		}
+		if conflicts(hm, mode) && !m.top.IsAncestorOrSelf(h, tx) {
+			return false
+		}
+	}
+	return true
+}
+
+// inCycle reports whether tx participates in a waits-for cycle.
+// Caller holds m.mu.
+func (m *Manager) inCycle(start TxnID) bool {
+	visited := map[TxnID]bool{}
+	var visit func(tx TxnID) bool
+	visit = func(tx TxnID) bool {
+		if visited[tx] {
+			return false
+		}
+		visited[tx] = true
+		for _, next := range m.blockers(tx) {
+			if next == start || visit(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, next := range m.blockers(start) {
+		if next == start || visit(next) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockers returns the transactions tx is directly waiting on:
+// conflicting non-ancestor holders of its wanted item, plus — because
+// a holder with running descendants is suspended until they finish —
+// every waiting descendant of tx itself. Caller holds m.mu.
+func (m *Manager) blockers(tx TxnID) []TxnID {
+	var out []TxnID
+	if w, ok := m.waits[tx]; ok {
+		if e := m.locks[w.item]; e != nil {
+			for h, hm := range e.holders {
+				if h != tx && conflicts(hm, w.mode) && !m.top.IsAncestorOrSelf(h, tx) {
+					out = append(out, h)
+				}
+			}
+		}
+	}
+	// Delegation edges: tx's progress depends on its blocked
+	// descendants (tx is suspended while they run).
+	for w := range m.waits {
+		if w != tx && m.top.IsAncestorOrSelf(tx, w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ReleaseAll drops every lock held by tx (used at abort, and at
+// top-level commit) and clears any cancellation mark.
+func (m *Manager) ReleaseAll(tx TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for item, e := range m.locks {
+		if _, ok := e.holders[tx]; ok {
+			delete(e.holders, tx)
+			if len(e.holders) == 0 {
+				delete(m.locks, item)
+			}
+		}
+	}
+	delete(m.canceled, tx)
+	m.cond.Broadcast()
+}
+
+// TransferToParent implements lock inheritance at subtransaction
+// commit: every lock held by child is afterwards held by parent in
+// the stronger of the two modes.
+func (m *Manager) TransferToParent(child, parent TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range m.locks {
+		cm, ok := e.holders[child]
+		if !ok {
+			continue
+		}
+		delete(e.holders, child)
+		if pm, ok := e.holders[parent]; !ok || cm > pm {
+			e.holders[parent] = cm
+		}
+	}
+	delete(m.canceled, child)
+	// Ancestry-based grantability may have improved for waiters that
+	// are descendants of the parent.
+	m.cond.Broadcast()
+}
+
+// Cancel wakes any in-progress or future waits by tx with
+// ErrCanceled. Used when a transaction is aborted from another
+// goroutine while it may be blocked.
+func (m *Manager) Cancel(tx TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.canceled[tx] = true
+	m.cond.Broadcast()
+}
+
+// HeldMode reports the mode tx holds on item, if any.
+func (m *Manager) HeldMode(tx TxnID, item Item) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e := m.locks[item]; e != nil {
+		mode, ok := e.holders[tx]
+		return mode, ok
+	}
+	return 0, false
+}
+
+// HeldItems returns the number of items on which tx holds a lock.
+func (m *Manager) HeldItems(tx TxnID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, e := range m.locks {
+		if _, ok := e.holders[tx]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a snapshot of the activity counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

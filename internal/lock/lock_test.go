@@ -1,0 +1,367 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeTopology is a parent map implementing Topology for tests.
+type fakeTopology struct {
+	mu     sync.Mutex
+	parent map[TxnID]TxnID
+}
+
+func newTopo() *fakeTopology { return &fakeTopology{parent: map[TxnID]TxnID{}} }
+
+func (f *fakeTopology) setParent(child, parent TxnID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.parent[child] = parent
+}
+
+func (f *fakeTopology) IsAncestorOrSelf(anc, desc TxnID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if anc == desc {
+			return true
+		}
+		p, ok := f.parent[desc]
+		if !ok {
+			return false
+		}
+		desc = p
+	}
+}
+
+func TestSharedCompatible(t *testing.T) {
+	m := NewManager(newTopo())
+	if err := m.Acquire(1, "a", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, "a", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := m.HeldMode(1, "a"); !ok || got != Shared {
+		t.Fatalf("HeldMode = %v, %v", got, ok)
+	}
+}
+
+func TestExclusiveBlocksUnrelated(t *testing.T) {
+	m := NewManager(newTopo())
+	if err := m.Acquire(1, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if m.TryAcquire(2, "a", Shared) {
+		t.Fatal("unrelated txn acquired over X lock")
+	}
+	if m.TryAcquire(2, "a", Exclusive) {
+		t.Fatal("unrelated txn acquired X over X lock")
+	}
+	// Blocked Acquire is granted once the holder releases.
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(2, "a", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("acquire returned early: %v", err)
+	default:
+	}
+	m.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMossAncestorRule(t *testing.T) {
+	topo := newTopo()
+	m := NewManager(topo)
+	// 1 is top-level, 2 is its child, 3 is unrelated.
+	topo.setParent(2, 1)
+	if err := m.Acquire(1, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// A child may acquire over its (suspended) ancestor's lock.
+	if err := m.Acquire(2, "a", Exclusive); err != nil {
+		t.Fatalf("child blocked by ancestor's lock: %v", err)
+	}
+	// But a stranger may not — even over the child's hold.
+	if m.TryAcquire(3, "a", Shared) {
+		t.Fatal("stranger acquired over X locks")
+	}
+}
+
+func TestGrandchildOverGrandparent(t *testing.T) {
+	topo := newTopo()
+	m := NewManager(topo)
+	topo.setParent(2, 1)
+	topo.setParent(3, 2)
+	if err := m.Acquire(1, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(3, "a", Exclusive); err != nil {
+		t.Fatalf("grandchild should pass: %v", err)
+	}
+}
+
+func TestSiblingConflict(t *testing.T) {
+	topo := newTopo()
+	m := NewManager(topo)
+	topo.setParent(2, 1)
+	topo.setParent(3, 1)
+	if err := m.Acquire(2, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// Sibling is NOT an ancestor: must block.
+	if m.TryAcquire(3, "a", Exclusive) {
+		t.Fatal("sibling acquired conflicting lock")
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	m := NewManager(newTopo())
+	if err := m.Acquire(1, "a", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, "a", Exclusive); err != nil {
+		t.Fatalf("lone-holder upgrade failed: %v", err)
+	}
+	if got, _ := m.HeldMode(1, "a"); got != Exclusive {
+		t.Fatalf("mode after upgrade = %v", got)
+	}
+	// Downgrade requests are no-ops: mode stays Exclusive.
+	if err := m.Acquire(1, "a", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.HeldMode(1, "a"); got != Exclusive {
+		t.Fatal("re-acquiring Shared must not weaken the held mode")
+	}
+}
+
+func TestUpgradeBlockedByOtherReader(t *testing.T) {
+	m := NewManager(newTopo())
+	m.Acquire(1, "a", Shared)
+	m.Acquire(2, "a", Shared)
+	if m.TryAcquire(1, "a", Exclusive) {
+		t.Fatal("upgrade granted despite concurrent reader")
+	}
+	m.ReleaseAll(2)
+	if err := m.Acquire(1, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeDeadlock(t *testing.T) {
+	// Two readers both try to upgrade: classic conversion deadlock.
+	m := NewManager(newTopo())
+	m.Acquire(1, "a", Shared)
+	m.Acquire(2, "a", Shared)
+	errs := make(chan error, 2)
+	go func() { errs <- m.Acquire(1, "a", Exclusive) }()
+	time.Sleep(20 * time.Millisecond) // let txn 1 block
+	go func() { errs <- m.Acquire(2, "a", Exclusive) }()
+	var deadlocked, granted int
+	for i := 0; i < 1; i++ { // at least the second requester must fail fast
+		select {
+		case err := <-errs:
+			if errors.Is(err, ErrDeadlock) {
+				deadlocked++
+				// Simulate abort of the victim so the other side proceeds.
+				if deadlocked == 1 {
+					m.ReleaseAll(2)
+					m.ReleaseAll(1)
+				}
+			} else if err == nil {
+				granted++
+			} else {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("neither requester resolved: undetected deadlock")
+		}
+	}
+	if deadlocked == 0 {
+		t.Fatal("conversion deadlock not detected")
+	}
+}
+
+func TestTwoItemDeadlock(t *testing.T) {
+	m := NewManager(newTopo())
+	m.Acquire(1, "a", Exclusive)
+	m.Acquire(2, "b", Exclusive)
+	done1 := make(chan error, 1)
+	go func() { done1 <- m.Acquire(1, "b", Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	err := m.Acquire(2, "a", Exclusive) // closes the cycle
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	// Victim aborts; survivor proceeds.
+	m.ReleaseAll(2)
+	if err := <-done1; err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+}
+
+func TestNestedDeadlockAcrossTrees(t *testing.T) {
+	// Top-level A(1) holds a; top-level B(2) holds b. A's child (3)
+	// wants b; B's child (4) wants a. The cycle runs through the
+	// suspended parents and must be detected via delegation edges.
+	topo := newTopo()
+	m := NewManager(topo)
+	topo.setParent(3, 1)
+	topo.setParent(4, 2)
+	m.Acquire(1, "a", Exclusive)
+	m.Acquire(2, "b", Exclusive)
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(3, "b", Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	err := m.Acquire(4, "a", Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("cross-tree nested deadlock undetected: %v", err)
+	}
+	m.ReleaseAll(4)
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatalf("survivor child: %v", err)
+	}
+}
+
+func TestTransferToParentUnblocksSibling(t *testing.T) {
+	topo := newTopo()
+	m := NewManager(topo)
+	topo.setParent(2, 1)
+	topo.setParent(3, 1)
+	m.Acquire(2, "a", Exclusive)
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(3, "a", Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	// Sibling 2 commits: its lock moves to parent 1, which IS an
+	// ancestor of 3, so 3 becomes grantable.
+	m.TransferToParent(2, 1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, held := m.HeldMode(2, "a"); held {
+		t.Fatal("child still holds after transfer")
+	}
+	if got, ok := m.HeldMode(1, "a"); !ok || got != Exclusive {
+		t.Fatalf("parent hold after transfer = %v, %v", got, ok)
+	}
+}
+
+func TestTransferKeepsStrongestMode(t *testing.T) {
+	topo := newTopo()
+	m := NewManager(topo)
+	topo.setParent(2, 1)
+	m.Acquire(1, "a", Shared)
+	m.Acquire(2, "a", Exclusive)
+	m.TransferToParent(2, 1)
+	if got, _ := m.HeldMode(1, "a"); got != Exclusive {
+		t.Fatalf("parent mode = %v, want X", got)
+	}
+}
+
+func TestCancelWakesWaiter(t *testing.T) {
+	m := NewManager(newTopo())
+	m.Acquire(1, "a", Exclusive)
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(2, "a", Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	m.Cancel(2)
+	err := <-done
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	// ReleaseAll clears the cancel mark; tx 2 can lock again later.
+	m.ReleaseAll(2)
+	m.ReleaseAll(1)
+	if err := m.Acquire(2, "a", Exclusive); err != nil {
+		t.Fatalf("after clear: %v", err)
+	}
+}
+
+func TestReleaseAllDropsEverything(t *testing.T) {
+	m := NewManager(newTopo())
+	m.Acquire(1, "a", Exclusive)
+	m.Acquire(1, "b", Shared)
+	if m.HeldItems(1) != 2 {
+		t.Fatalf("HeldItems = %d", m.HeldItems(1))
+	}
+	m.ReleaseAll(1)
+	if m.HeldItems(1) != 0 {
+		t.Fatal("locks survived ReleaseAll")
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := NewManager(newTopo())
+	m.Acquire(1, "a", Exclusive)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		m.ReleaseAll(1)
+	}()
+	m.Acquire(2, "a", Exclusive)
+	s := m.Stats()
+	if s.Acquired < 2 || s.Waited < 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	// Many top-level transactions hammer a small item space with
+	// deterministic lock ordering (no deadlocks possible); every
+	// acquire must eventually succeed and counters must balance.
+	m := NewManager(newTopo())
+	const workers = 16
+	const rounds = 200
+	items := []Item{"i0", "i1", "i2", "i3"}
+	var wg sync.WaitGroup
+	var acquired atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tx := TxnID(w + 1)
+			for r := 0; r < rounds; r++ {
+				// Ascending item order prevents cycles.
+				for _, it := range items {
+					if err := m.Acquire(tx, it, Exclusive); err != nil {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+					acquired.Add(1)
+				}
+				m.ReleaseAll(tx)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := acquired.Load(); got != workers*rounds*int64(len(items)) {
+		t.Fatalf("acquired %d", got)
+	}
+}
+
+func TestSharedThenManyReaders(t *testing.T) {
+	m := NewManager(newTopo())
+	var wg sync.WaitGroup
+	for i := 1; i <= 50; i++ {
+		wg.Add(1)
+		go func(tx TxnID) {
+			defer wg.Done()
+			if err := m.Acquire(tx, "hot", Shared); err != nil {
+				t.Error(err)
+			}
+		}(TxnID(i))
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("readers should never block each other")
+	}
+}

@@ -1,0 +1,89 @@
+package object
+
+import (
+	"repro/internal/btree"
+	"repro/internal/datum"
+	"repro/internal/lock"
+	"repro/internal/query"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// Reader returns a query.Reader bound to tx. The reader acquires
+// shared locks as it goes: the class extent before a scan and each
+// visited object, so queries are serializable against concurrent
+// writers.
+func (m *Manager) Reader(tx *txn.Txn) query.Reader {
+	return &txnReader{m: m, tx: tx}
+}
+
+type txnReader struct {
+	m  *Manager
+	tx *txn.Txn
+}
+
+// ScanClass locks the extent, snapshots the candidate OIDs, then
+// visits each object under a shared object lock. Collecting OIDs
+// first keeps lock acquisition out of the storage layer's critical
+// section.
+func (r *txnReader) ScanClass(class string, fn func(datum.OID, map[string]datum.Value) bool) error {
+	if err := r.tx.Lock(extentItem(class), lock.Shared); err != nil {
+		return err
+	}
+	var oids []datum.OID
+	r.m.store.ScanClass(r.tx.ID(), class, func(rec storage.Record) bool {
+		oids = append(oids, rec.OID)
+		return true
+	})
+	for _, oid := range oids {
+		if err := r.tx.Lock(objItem(oid), lock.Shared); err != nil {
+			return err
+		}
+		rec, ok := r.m.store.Get(r.tx.ID(), oid)
+		if !ok || rec.Class != class {
+			continue // deleted or changed between snapshot and lock
+		}
+		if !fn(oid, rec.Attrs) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// LookupRange probes a secondary index for candidates. Candidates are
+// returned unlocked and unverified; the evaluator fetches each via
+// Fetch (which locks) and re-checks the predicate, so false positives
+// are harmless.
+func (r *txnReader) LookupRange(class, attr string, lo, hi *datum.Value, loInc, hiInc bool) ([]datum.OID, bool) {
+	if !r.m.store.HasIndex(class, attr) {
+		return nil, false
+	}
+	loB, hiB := btree.Open(), btree.Open()
+	if lo != nil {
+		if loInc {
+			loB = btree.Include(lo.Key())
+		} else {
+			loB = btree.Exclude(lo.Key())
+		}
+	}
+	if hi != nil {
+		if hiInc {
+			hiB = btree.Include(hi.Key())
+		} else {
+			hiB = btree.Exclude(hi.Key())
+		}
+	}
+	return r.m.store.IndexCandidates(r.tx.ID(), class, attr, loB, hiB), true
+}
+
+// Fetch returns a live object by OID under a shared lock.
+func (r *txnReader) Fetch(oid datum.OID) (string, map[string]datum.Value, bool) {
+	if err := r.tx.Lock(objItem(oid), lock.Shared); err != nil {
+		return "", nil, false
+	}
+	rec, ok := r.m.store.Get(r.tx.ID(), oid)
+	if !ok {
+		return "", nil, false
+	}
+	return rec.Class, rec.Attrs, true
+}

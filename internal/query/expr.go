@@ -1,0 +1,110 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/datum"
+)
+
+// EvalExpr evaluates a standalone expression (from ParseExpr) outside
+// a query: bare variable names resolve through vars, event.x through
+// eventArgs, and paths var.attr dereference vars[var] as an OID
+// through reader (which may be nil when no dereferencing is needed).
+// Rule actions use this to compute attribute values and request
+// arguments from the event signal and the condition's result rows.
+func EvalExpr(e Expr, reader Reader, vars, eventArgs map[string]datum.Value) (datum.Value, error) {
+	ev := &exprEvaluator{reader: reader, vars: vars, inner: evaluator{event: eventArgs}}
+	v, err := ev.eval(e)
+	if err != nil && errors.Is(err, ErrNoValue) {
+		// Missing bindings evaluate to null rather than failing the
+		// whole action; the store rejects nulls where they are not
+		// allowed.
+		return datum.Null(), nil
+	}
+	return v, err
+}
+
+type exprEvaluator struct {
+	reader Reader
+	vars   map[string]datum.Value
+	inner  evaluator
+}
+
+func (x *exprEvaluator) eval(e Expr) (datum.Value, error) {
+	switch v := e.(type) {
+	case *VarRef:
+		if val, ok := x.vars[v.Name]; ok {
+			return val, nil
+		}
+		return datum.Null(), fmt.Errorf("%w: binding %q", ErrNoValue, v.Name)
+	case *Path:
+		val, ok := x.vars[v.Var]
+		if !ok {
+			return datum.Null(), fmt.Errorf("%w: binding %q", ErrNoValue, v.Var)
+		}
+		if val.Kind() != datum.KindOID {
+			return datum.Null(), fmt.Errorf("query: %s is not an object (kind %s)", v.Var, val.Kind())
+		}
+		if x.reader == nil {
+			return datum.Null(), fmt.Errorf("query: cannot dereference %s without a reader", v)
+		}
+		_, attrs, ok := x.reader.Fetch(val.AsOID())
+		if !ok {
+			return datum.Null(), fmt.Errorf("%w: object %v", ErrNoValue, val.AsOID())
+		}
+		av, ok := attrs[v.Attr]
+		if !ok {
+			return datum.Null(), fmt.Errorf("%w: attribute %q", ErrNoValue, v.Attr)
+		}
+		return av, nil
+	case *Binary:
+		// Reuse the inner evaluator's operator semantics by
+		// pre-resolving the variable-dependent leaves.
+		return x.inner.evalBinary(&Binary{Op: v.Op, L: x.resolve(v.L), R: x.resolve(v.R)})
+	case *Unary:
+		return x.inner.evalUnary(&Unary{Op: v.Op, X: x.resolve(v.X)})
+	case *Call:
+		args := make([]Expr, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = x.resolve(a)
+		}
+		return x.inner.evalCall(&Call{Fn: v.Fn, Args: args, Star: v.Star})
+	default:
+		return x.inner.eval(e)
+	}
+}
+
+// resolve replaces variable-dependent leaves with literals (or an
+// errExpr that reproduces the resolution error lazily, preserving
+// missing-value semantics for comparisons).
+func (x *exprEvaluator) resolve(e Expr) Expr {
+	switch v := e.(type) {
+	case *VarRef, *Path:
+		val, err := x.eval(v)
+		if err != nil {
+			return &errExpr{err: err}
+		}
+		return &Literal{Val: val}
+	case *Binary:
+		return &Binary{Op: v.Op, L: x.resolve(v.L), R: x.resolve(v.R)}
+	case *Unary:
+		return &Unary{Op: v.Op, X: x.resolve(v.X)}
+	case *Call:
+		args := make([]Expr, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = x.resolve(a)
+		}
+		return &Call{Fn: v.Fn, Args: args, Star: v.Star}
+	default:
+		return e
+	}
+}
+
+// errExpr carries a deferred resolution error through evaluation;
+// evaluator.eval unwraps it, so ErrNoValue comparisons keep their
+// missing-value semantics.
+type errExpr struct{ err error }
+
+func (*errExpr) isExpr()          {}
+func (e *errExpr) String() string { return fmt.Sprintf("<error: %v>", e.err) }

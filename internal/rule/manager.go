@@ -1,0 +1,940 @@
+package rule
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cond"
+	"repro/internal/datum"
+	"repro/internal/event"
+	"repro/internal/lock"
+	"repro/internal/object"
+	"repro/internal/query"
+	"repro/internal/txn"
+)
+
+// AppDispatcher delivers rule-action requests to application programs
+// (§4.1: "HiPAC becomes the client and the application becomes the
+// server"). The engine connects it to registered in-process handlers
+// or, through the server layer, to remote clients.
+type AppDispatcher interface {
+	Dispatch(op string, args map[string]datum.Value) (map[string]datum.Value, error)
+}
+
+// CallFunc is a registered Go callback usable in "call" action steps.
+type CallFunc func(tx *txn.Txn, bindings map[string]datum.Value) error
+
+// Stats counts rule-manager activity.
+type Stats struct {
+	Signals             uint64 // event signals handled
+	Triggered           uint64 // rule firings scheduled
+	ImmediateFirings    uint64
+	DeferredFirings     uint64
+	SeparateFirings     uint64
+	ConditionsSatisfied uint64
+	ActionsExecuted     uint64
+	AsyncErrors         uint64
+}
+
+// Trace is a structured record of a rule-processing step, for the
+// paper's §6 protocol tests and for the CLI's firing tracer.
+type Trace struct {
+	Kind   string // "signal", "cond", "action", "deferred-queue", "deferred-drain", "separate"
+	Rule   string
+	Txn    lock.TxnID // transaction performing the step
+	Parent lock.TxnID // its parent (0 for top-level)
+}
+
+// Manager is the Rule Manager. It maps events to rules and schedules
+// condition evaluation and action execution per the coupling modes.
+type Manager struct {
+	txns    *txn.Manager
+	objects *object.Manager
+	eval    *cond.Evaluator
+	det     *event.Detectors // set via SetDetectors after construction
+
+	mu       sync.RWMutex
+	rules    map[datum.OID]*Rule
+	byName   map[string]datum.OID
+	bySub    map[event.SubID]map[datum.OID]*Rule
+	specSubs map[string]event.SubID // canonical spec -> shared subscription
+	calls    map[string]CallFunc
+	app      AppDispatcher
+	trace    func(Trace)
+	onErr    func(rule string, err error)
+	stats    Stats
+
+	sep sync.WaitGroup // in-flight separate firings
+}
+
+// NewManager returns a Rule Manager. Call SetDetectors once the event
+// detectors exist (they need the manager's HandleEmit as their sink),
+// and Restore to reload persisted rules.
+func NewManager(txns *txn.Manager, objects *object.Manager, eval *cond.Evaluator) *Manager {
+	return &Manager{
+		txns:     txns,
+		objects:  objects,
+		eval:     eval,
+		rules:    map[datum.OID]*Rule{},
+		byName:   map[string]datum.OID{},
+		bySub:    map[event.SubID]map[datum.OID]*Rule{},
+		specSubs: map[string]event.SubID{},
+		calls:    map[string]CallFunc{},
+	}
+}
+
+// SetDetectors wires the event detectors. Not safe to call
+// concurrently with rule processing.
+func (m *Manager) SetDetectors(d *event.Detectors) { m.det = d }
+
+// SetAppDispatcher wires the application-operation dispatcher. Not
+// safe to call concurrently with rule processing.
+func (m *Manager) SetAppDispatcher(a AppDispatcher) { m.app = a }
+
+// SetTrace installs a trace hook. Not safe to call concurrently with
+// rule processing.
+func (m *Manager) SetTrace(f func(Trace)) { m.trace = f }
+
+// SetErrorHandler installs a handler for errors in separate (asynchronous)
+// firings. Not safe to call concurrently with rule processing.
+func (m *Manager) SetErrorHandler(f func(rule string, err error)) { m.onErr = f }
+
+// RegisterCall registers a Go callback usable by "call" action steps.
+func (m *Manager) RegisterCall(name string, fn CallFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.calls[name] = fn
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats
+}
+
+func (m *Manager) bump(f func(*Stats)) {
+	m.mu.Lock()
+	f(&m.stats)
+	m.mu.Unlock()
+}
+
+func (m *Manager) emitTrace(kind, rule string, t *txn.Txn) {
+	if m.trace == nil {
+		return
+	}
+	tr := Trace{Kind: kind, Rule: rule}
+	if t != nil {
+		tr.Txn = t.ID()
+		if p := t.Parent(); p != nil {
+			tr.Parent = p.ID()
+		}
+	}
+	m.trace(tr)
+}
+
+func (m *Manager) reportAsync(rule string, err error) {
+	m.bump(func(s *Stats) { s.AsyncErrors++ })
+	m.mu.RLock()
+	h := m.onErr
+	m.mu.RUnlock()
+	if h != nil {
+		h(rule, err)
+	}
+}
+
+// Quiesce blocks until all in-flight separate firings complete.
+func (m *Manager) Quiesce() { m.sep.Wait() }
+
+// --- rule lifecycle (rules are objects: §2.2) ---
+
+// EnsureRuleClass defines the "__rule" system class if absent. The
+// engine calls it once at startup.
+func (m *Manager) EnsureRuleClass() error {
+	t := m.txns.Begin()
+	t.Internal = true
+	err := m.objects.DefineClass(t, object.Class{
+		Name: RuleClass,
+		Attrs: []object.AttrDef{
+			{Name: "name", Kind: datum.KindString, Required: true},
+			{Name: "def", Kind: datum.KindString, Required: true},
+			{Name: "enabled", Kind: datum.KindBool},
+		},
+	})
+	if errors.Is(err, object.ErrClassExists) {
+		err = nil
+	}
+	if err != nil {
+		t.Abort()
+		return err
+	}
+	return t.Commit()
+}
+
+// CreateRule compiles, persists, and activates a rule (§6.1). Rule
+// management operations run in their own (internal) transactions; the
+// rule is active once CreateRule returns.
+func (m *Manager) CreateRule(def Def) (*Rule, error) {
+	r, err := compile(def)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	_, dup := m.byName[def.Name]
+	m.mu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("rule: %q already exists", def.Name)
+	}
+	attrs, err := encodeDef(def, r.Enabled)
+	if err != nil {
+		return nil, err
+	}
+	t := m.txns.Begin()
+	t.Internal = true
+	oid, err := m.objects.Create(t, RuleClass, attrs)
+	if err != nil {
+		t.Abort()
+		return nil, err
+	}
+	if err := t.Commit(); err != nil {
+		return nil, err
+	}
+	r.OID = oid
+	if err := m.register(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// register installs a compiled rule into the runtime maps, the
+// condition graph, and the event detectors. Rules with identical
+// event specifications SHARE one detector subscription: a single
+// occurrence then triggers them together, and per §3.2 "for rules
+// with the same event and E-C coupling mode, the condition evaluation
+// transactions will execute concurrently" as siblings.
+func (m *Manager) register(r *Rule) error {
+	if m.det == nil {
+		return errors.New("rule: detectors not wired")
+	}
+	key := r.Spec.String()
+	m.mu.Lock()
+	sub, shared := m.specSubs[key]
+	m.mu.Unlock()
+	if !shared {
+		var err error
+		sub, err = m.det.Define(r.Spec)
+		if err != nil {
+			return err
+		}
+	}
+	r.sub = sub
+	m.eval.AddRule(uint64(r.OID), r.Condition)
+	m.mu.Lock()
+	m.rules[r.OID] = r
+	m.byName[r.Name] = r.OID
+	if m.bySub[sub] == nil {
+		m.bySub[sub] = map[datum.OID]*Rule{}
+	}
+	m.bySub[sub][r.OID] = r
+	m.specSubs[key] = sub
+	m.mu.Unlock()
+	m.syncSubEnablement(sub)
+	return nil
+}
+
+// syncSubEnablement enables the detector subscription iff any rule
+// sharing it is enabled; automatic firing of individually disabled
+// rules is filtered in HandleEmit.
+func (m *Manager) syncSubEnablement(sub event.SubID) {
+	m.mu.RLock()
+	any := false
+	for _, r := range m.bySub[sub] {
+		if r.Enabled {
+			any = true
+			break
+		}
+	}
+	m.mu.RUnlock()
+	if any {
+		m.det.Enable(sub)
+	} else {
+		m.det.Disable(sub)
+	}
+}
+
+// DeleteRule removes a rule: its object is deleted under a write lock
+// (blocking until in-flight firings that hold the read lock finish),
+// its condition leaves the graph, and its event detection ceases if
+// no other rule uses the event (§5.3).
+func (m *Manager) DeleteRule(name string) error {
+	m.mu.RLock()
+	oid, ok := m.byName[name]
+	r := m.rules[oid]
+	m.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("rule: no rule %q", name)
+	}
+	t := m.txns.Begin()
+	t.Internal = true
+	if err := m.objects.Delete(t, oid); err != nil { // X lock on the rule object
+		t.Abort()
+		return err
+	}
+	if err := t.Commit(); err != nil {
+		return err
+	}
+	m.unregister(r)
+	return nil
+}
+
+// unregister removes a rule from the runtime maps, the condition
+// graph, and — when it was the last rule on its event — the detectors
+// (§5.3: detection ceases when the last rule using the event is
+// deleted).
+func (m *Manager) unregister(r *Rule) {
+	m.eval.RemoveRule(uint64(r.OID))
+	m.mu.Lock()
+	delete(m.rules, r.OID)
+	delete(m.byName, r.Name)
+	delete(m.bySub[r.sub], r.OID)
+	last := len(m.bySub[r.sub]) == 0
+	if last {
+		delete(m.bySub, r.sub)
+		delete(m.specSubs, r.Spec.String())
+	}
+	m.mu.Unlock()
+	if last {
+		m.det.Delete(r.sub)
+	}
+}
+
+// UpdateRule replaces an existing rule's definition in place (§2.2
+// lists modify among the rule operations). The rule object keeps its
+// OID; the write lock blocks until in-flight firings release their
+// read locks, so no firing observes a half-updated rule.
+func (m *Manager) UpdateRule(def Def) (*Rule, error) {
+	m.mu.RLock()
+	oid, ok := m.byName[def.Name]
+	old := m.rules[oid]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("rule: no rule %q", def.Name)
+	}
+	r, err := compile(def)
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := encodeDef(def, r.Enabled)
+	if err != nil {
+		return nil, err
+	}
+	t := m.txns.Begin()
+	t.Internal = true
+	if err := m.objects.Modify(t, oid, attrs); err != nil { // X lock
+		t.Abort()
+		return nil, err
+	}
+	if err := t.Commit(); err != nil {
+		return nil, err
+	}
+	r.OID = oid
+	m.unregister(old)
+	if err := m.register(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// setEnabled implements Enable/Disable (§2.2: they take write locks —
+// "we think of enable and disable as modifying a rule").
+func (m *Manager) setEnabled(name string, enabled bool) error {
+	m.mu.RLock()
+	oid, ok := m.byName[name]
+	r := m.rules[oid]
+	m.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("rule: no rule %q", name)
+	}
+	t := m.txns.Begin()
+	t.Internal = true
+	if err := m.objects.Modify(t, oid, map[string]datum.Value{"enabled": datum.Bool(enabled)}); err != nil {
+		t.Abort()
+		return err
+	}
+	if err := t.Commit(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	r.Enabled = enabled
+	m.mu.Unlock()
+	m.syncSubEnablement(r.sub)
+	return nil
+}
+
+// EnableRule re-enables automatic firing.
+func (m *Manager) EnableRule(name string) error { return m.setEnabled(name, true) }
+
+// DisableRule suspends automatic firing. The rule can still be fired
+// manually with Fire.
+func (m *Manager) DisableRule(name string) error { return m.setEnabled(name, false) }
+
+// GetRule returns a registered rule by name.
+func (m *Manager) GetRule(name string) (*Rule, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	oid, ok := m.byName[name]
+	return m.rules[oid], ok
+}
+
+// Rules lists registered rules in name order.
+func (m *Manager) Rules() []*Rule {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Rule, 0, len(m.rules))
+	for _, r := range m.rules {
+		out = append(out, r)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Restore reloads persisted rules from the "__rule" extent (after a
+// restart). Rules that fail to compile are skipped with an error
+// report.
+func (m *Manager) Restore() error {
+	t := m.txns.Begin()
+	t.Internal = true
+	defer t.Commit()
+	type stored struct {
+		oid     datum.OID
+		def     Def
+		enabled bool
+	}
+	var all []stored
+	var firstErr error
+	reader := m.objects.Reader(t)
+	err := reader.ScanClass(RuleClass, func(oid datum.OID, attrs map[string]datum.Value) bool {
+		def, enabled, err := decodeDef(attrs)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return true
+		}
+		all = append(all, stored{oid, def, enabled})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, s := range all {
+		r, err := compile(s.def)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("rule: restore %q: %w", s.def.Name, err)
+			}
+			continue
+		}
+		r.OID = s.oid
+		r.Enabled = s.enabled
+		if err := m.register(r); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// --- event signal processing (§6.2) ---
+
+// firing is one scheduled rule firing.
+type firing struct {
+	rule *Rule
+	sig  event.Signal
+}
+
+// deferredSet hangs off a transaction's DeferredData slot.
+type deferredSet struct {
+	mu      sync.Mutex
+	entries []deferredEntry
+}
+
+type deferredEntry struct {
+	sig   event.Signal
+	rules []*Rule
+}
+
+func (d *deferredSet) add(e deferredEntry) {
+	d.mu.Lock()
+	d.entries = append(d.entries, e)
+	d.mu.Unlock()
+}
+
+func (d *deferredSet) drain() []deferredEntry {
+	d.mu.Lock()
+	out := d.entries
+	d.entries = nil
+	d.mu.Unlock()
+	return out
+}
+
+// HandleEmit is the detectors' sink: it implements the §6.2 protocol.
+// It runs synchronously on the goroutine where the event occurred, so
+// the triggering operation is suspended until immediate processing
+// completes; its error return propagates to that operation.
+func (m *Manager) HandleEmit(sub event.SubID, sig event.Signal) error {
+	m.mu.RLock()
+	var triggered []*Rule
+	for _, r := range m.bySub[sub] {
+		if r.Enabled {
+			triggered = append(triggered, r)
+		}
+	}
+	m.mu.RUnlock()
+	m.bump(func(s *Stats) { s.Signals++; s.Triggered += uint64(len(triggered)) })
+	if len(triggered) == 0 {
+		return nil
+	}
+
+	// Group by E-C coupling mode.
+	var immediate, deferred, separate []*Rule
+	for _, r := range triggered {
+		switch r.EC {
+		case Immediate:
+			immediate = append(immediate, r)
+		case Deferred:
+			deferred = append(deferred, r)
+		case Separate:
+			separate = append(separate, r)
+		}
+	}
+
+	trigger, haveTxn := m.txns.Find(sig.Txn)
+	if haveTxn {
+		// The signal may arrive while the transaction is already
+		// committing (commit events); children are still allowed
+		// then, but not after termination.
+		if trigger.State() == txn.Committed || trigger.State() == txn.Aborted {
+			haveTxn = false
+		}
+	}
+
+	// Separate firings never wait (§6.2 "Meanwhile, the Rule Manager
+	// continues").
+	for _, r := range separate {
+		m.spawnSeparate(r, sig)
+	}
+
+	// Deferred firings join the triggering transaction's set; without
+	// a triggering transaction they degrade to separate firings.
+	if len(deferred) > 0 {
+		if haveTxn {
+			set, _ := trigger.DeferredData.(*deferredSet)
+			if set == nil {
+				set = &deferredSet{}
+				trigger.DeferredData = set
+			}
+			set.add(deferredEntry{sig: sig, rules: deferred})
+			m.bump(func(s *Stats) { s.DeferredFirings += uint64(len(deferred)) })
+			for _, r := range deferred {
+				m.emitTrace("deferred-queue", r.Name, trigger)
+			}
+		} else {
+			for _, r := range deferred {
+				m.spawnSeparate(r, sig)
+			}
+		}
+	}
+
+	// Immediate firings run now, in subtransactions of the trigger,
+	// which is suspended until they all terminate.
+	if len(immediate) > 0 {
+		if haveTxn {
+			m.bump(func(s *Stats) { s.ImmediateFirings += uint64(len(immediate)) })
+			return m.fireGroup(trigger, immediate, sig)
+		}
+		for _, r := range immediate {
+			m.spawnSeparate(r, sig)
+		}
+	}
+	return nil
+}
+
+// fireGroup processes a group of rule firings anchored at parent:
+// all conditions are evaluated in one shared subtransaction (the
+// condition graph makes this the multiple-query optimization of
+// §5.5); its locks fold into parent at commit, preserving two-phase
+// locking. The satisfied rules' actions then execute concurrently as
+// sibling subtransactions of parent (§3.2: no conflict resolution —
+// serializability is the correctness criterion).
+func (m *Manager) fireGroup(parent *txn.Txn, rules []*Rule, sig event.Signal) error {
+	gc, err := parent.Child()
+	if err != nil {
+		return fmt.Errorf("rule: condition transaction: %w", err)
+	}
+	gc.Internal = true
+	m.emitTrace("cond", groupName(rules), gc)
+
+	ids := make([]uint64, 0, len(rules))
+	for _, r := range rules {
+		// Firing takes a read lock on the rule object (§2.2).
+		if err := gc.Lock(ruleItem(r.OID), lock.Shared); err != nil {
+			gc.Abort()
+			return err
+		}
+		ids = append(ids, uint64(r.OID))
+	}
+	outcomes, err := m.eval.Evaluate(m.objects.Reader(gc), sig.Bindings, false, ids)
+	if err != nil {
+		gc.Abort()
+		return err
+	}
+	if err := gc.Commit(); err != nil {
+		return err
+	}
+
+	var wave1, wave2 []firing // CA immediate, then CA deferred
+	for _, r := range rules {
+		oc := outcomes[uint64(r.OID)]
+		if oc == nil || !oc.Satisfied {
+			continue
+		}
+		m.bump(func(s *Stats) { s.ConditionsSatisfied++ })
+		switch r.CA {
+		case Immediate:
+			wave1 = append(wave1, firing{r, sig})
+		case Deferred:
+			wave2 = append(wave2, firing{r, sig})
+		case Separate:
+			m.spawnAction(r, sig, oc)
+		}
+	}
+	if err := m.runWave(parent, wave1, outcomes); err != nil {
+		return err
+	}
+	return m.runWave(parent, wave2, outcomes)
+}
+
+// runWave executes the actions of a wave concurrently as sibling
+// subtransactions of parent, waiting for all and returning the first
+// error (whose firing subtransaction is aborted).
+func (m *Manager) runWave(parent *txn.Txn, wave []firing, outcomes map[uint64]*cond.Outcome) error {
+	if len(wave) == 0 {
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(wave))
+	for i, f := range wave {
+		ac, err := parent.Child()
+		if err != nil {
+			errs[i] = err
+			break
+		}
+		ac.Internal = true
+		m.emitTrace("action", f.rule.Name, ac)
+		wg.Add(1)
+		go func(i int, f firing, ac *txn.Txn) {
+			defer wg.Done()
+			oc := outcomes[uint64(f.rule.OID)]
+			if err := m.execAction(ac, f.rule, f.sig, oc.Primary); err != nil {
+				ac.Abort()
+				errs[i] = fmt.Errorf("rule %q action: %w", f.rule.Name, err)
+				return
+			}
+			if err := ac.Commit(); err != nil {
+				errs[i] = fmt.Errorf("rule %q action commit: %w", f.rule.Name, err)
+			}
+		}(i, f, ac)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spawnSeparate runs one rule firing in its own top-level
+// transaction, concurrent with the trigger (§3.2 separate coupling).
+func (m *Manager) spawnSeparate(r *Rule, sig event.Signal) {
+	m.bump(func(s *Stats) { s.SeparateFirings++ })
+	m.sep.Add(1)
+	go func() {
+		defer m.sep.Done()
+		t := m.txns.Begin()
+		t.Internal = true
+		m.emitTrace("separate", r.Name, t)
+		if err := t.Lock(ruleItem(r.OID), lock.Shared); err != nil {
+			t.Abort()
+			m.reportAsync(r.Name, err)
+			return
+		}
+		outcomes, err := m.eval.Evaluate(m.objects.Reader(t), sig.Bindings, true, []uint64{uint64(r.OID)})
+		if err != nil {
+			t.Abort()
+			m.reportAsync(r.Name, err)
+			return
+		}
+		oc := outcomes[uint64(r.OID)]
+		if oc == nil || !oc.Satisfied {
+			t.Commit()
+			return
+		}
+		m.bump(func(s *Stats) { s.ConditionsSatisfied++ })
+		switch r.CA {
+		case Immediate, Deferred:
+			// Condition and action together in the separate
+			// transaction (the paper's SAA rules use exactly this).
+			if err := m.execAction(t, r, sig, oc.Primary); err != nil {
+				t.Abort()
+				m.reportAsync(r.Name, err)
+				return
+			}
+			if err := t.Commit(); err != nil {
+				m.reportAsync(r.Name, err)
+			}
+		case Separate:
+			if err := t.Commit(); err != nil {
+				m.reportAsync(r.Name, err)
+				return
+			}
+			m.spawnAction(r, sig, oc)
+		}
+	}()
+}
+
+// spawnAction runs a satisfied rule's action in a fresh top-level
+// transaction (C-A separate coupling).
+func (m *Manager) spawnAction(r *Rule, sig event.Signal, oc *cond.Outcome) {
+	m.sep.Add(1)
+	go func() {
+		defer m.sep.Done()
+		t := m.txns.Begin()
+		t.Internal = true
+		m.emitTrace("action", r.Name, t)
+		if err := m.execAction(t, r, sig, oc.Primary); err != nil {
+			t.Abort()
+			m.reportAsync(r.Name, err)
+			return
+		}
+		if err := t.Commit(); err != nil {
+			m.reportAsync(r.Name, err)
+		}
+	}()
+}
+
+// --- commit processing (§6.3) ---
+
+// ProcessCommit is registered as a transaction-manager pre-commit
+// hook: when a transaction commits, the Transaction Manager signals
+// the commit event and the Rule Manager processes the transaction's
+// deferred rule firings before commit completes.
+func (m *Manager) ProcessCommit(t *txn.Txn) error {
+	// The commit event itself can trigger rules (transaction-control
+	// events, §2.1). Signalled first, so rules on commit() run while
+	// the transaction can still host subtransactions. Internal
+	// (rule-processing) transactions do not signal: a commit() rule
+	// would otherwise trigger itself through its own firing
+	// subtransactions, recursing forever.
+	if m.det != nil && !t.Internal {
+		if err := m.det.SignalDatabase(event.OpCommit, "", t.ID(), map[string]datum.Value{
+			"op":  datum.Str(string(event.OpCommit)),
+			"txn": datum.Int(int64(t.ID())),
+		}); err != nil {
+			return err
+		}
+	}
+	// Drain the deferred set; processing can enqueue further deferred
+	// firings (cascades), so loop until empty.
+	set, _ := t.DeferredData.(*deferredSet)
+	if set == nil {
+		return nil
+	}
+	for {
+		entries := set.drain()
+		if len(entries) == 0 {
+			return nil
+		}
+		for _, e := range entries {
+			for _, r := range e.rules {
+				m.emitTrace("deferred-drain", r.Name, t)
+			}
+			if err := m.fireGroup(t, e.rules, e.sig); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// ProcessAbort is registered as a transaction listener: aborts are
+// signalled as transaction-control events (outside any transaction —
+// the aborted one is gone), and the transaction's deferred firings
+// are discarded.
+func (m *Manager) ProcessAbort(t *txn.Txn) {
+	if set, _ := t.DeferredData.(*deferredSet); set != nil {
+		set.drain()
+	}
+	if m.det != nil && !t.Internal {
+		if err := m.det.SignalDatabase(event.OpAbort, "", 0, map[string]datum.Value{
+			"op":  datum.Str(string(event.OpAbort)),
+			"txn": datum.Int(int64(t.ID())),
+		}); err != nil {
+			m.reportAsync("", err)
+		}
+	}
+}
+
+// --- manual firing (§2.2 Fire) ---
+
+// Fire fires a rule manually, regardless of its enabled state. If tx
+// is non-nil the firing is processed as an immediate firing anchored
+// at tx; otherwise it runs as a separate firing (Quiesce to await
+// it). args become the event bindings seen by condition and action.
+func (m *Manager) Fire(tx *txn.Txn, name string, args map[string]datum.Value) error {
+	m.mu.RLock()
+	oid, ok := m.byName[name]
+	r := m.rules[oid]
+	m.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("rule: no rule %q", name)
+	}
+	sig := event.Signal{Spec: r.Spec, Bindings: args}
+	if m.det != nil {
+		sig.Time = m.det.Now()
+	}
+	if tx != nil {
+		sig.Txn = tx.ID()
+		return m.fireGroup(tx, []*Rule{r}, sig)
+	}
+	m.spawnSeparate(r, sig)
+	return nil
+}
+
+// --- action execution ---
+
+// execAction runs the rule's action steps in tx: once per row of the
+// condition's primary result, or once with the event bindings alone
+// when the condition was empty.
+func (m *Manager) execAction(tx *txn.Txn, r *Rule, sig event.Signal, primary *query.Result) error {
+	m.bump(func(s *Stats) { s.ActionsExecuted++ })
+	rows := 1
+	if primary != nil {
+		rows = len(primary.Rows)
+	}
+	for i := 0; i < rows; i++ {
+		var vars map[string]datum.Value
+		if primary != nil {
+			vars = primary.RowBindings(i)
+		}
+		for stepIdx, st := range r.Steps {
+			if err := m.execStep(tx, r, st, vars, sig.Bindings); err != nil {
+				return fmt.Errorf("step %d (%s): %w", stepIdx+1, st.kind, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Manager) execStep(tx *txn.Txn, r *Rule, st compiledStep,
+	vars, eventArgs map[string]datum.Value) error {
+
+	reader := m.objects.Reader(tx)
+	switch st.kind {
+	case StepCreate:
+		attrs, err := evalExprs(st.attrs, reader, vars, eventArgs)
+		if err != nil {
+			return err
+		}
+		_, err = m.objects.Create(tx, st.class, attrs)
+		return err
+
+	case StepModify:
+		target, err := query.EvalExpr(st.target, reader, vars, eventArgs)
+		if err != nil {
+			return err
+		}
+		if target.Kind() != datum.KindOID {
+			return fmt.Errorf("target expression yielded %s, want an object", target.Kind())
+		}
+		attrs, err := evalExprs(st.attrs, reader, vars, eventArgs)
+		if err != nil {
+			return err
+		}
+		return m.objects.Modify(tx, target.AsOID(), attrs)
+
+	case StepDelete:
+		target, err := query.EvalExpr(st.target, reader, vars, eventArgs)
+		if err != nil {
+			return err
+		}
+		if target.Kind() != datum.KindOID {
+			return fmt.Errorf("target expression yielded %s, want an object", target.Kind())
+		}
+		return m.objects.Delete(tx, target.AsOID())
+
+	case StepSignal:
+		args, err := evalExprs(st.args, reader, vars, eventArgs)
+		if err != nil {
+			return err
+		}
+		if m.det == nil {
+			return errors.New("detectors not wired")
+		}
+		_, err = m.det.SignalExternal(st.event, tx.ID(), args)
+		return err
+
+	case StepRequest:
+		m.mu.RLock()
+		app := m.app
+		m.mu.RUnlock()
+		if app == nil {
+			return fmt.Errorf("no application serves operation %q", st.op)
+		}
+		args, err := evalExprs(st.args, reader, vars, eventArgs)
+		if err != nil {
+			return err
+		}
+		_, err = app.Dispatch(st.op, args)
+		return err
+
+	case StepCall:
+		m.mu.RLock()
+		fn := m.calls[st.fn]
+		m.mu.RUnlock()
+		if fn == nil {
+			return fmt.Errorf("no registered callback %q", st.fn)
+		}
+		return fn(tx, mergedBindings(vars, eventArgs))
+
+	case StepAbort:
+		return fmt.Errorf("%w (rule %q)", AbortRequested, r.Name)
+
+	default:
+		return fmt.Errorf("unknown step kind %q", st.kind)
+	}
+}
+
+func mergedBindings(vars, eventArgs map[string]datum.Value) map[string]datum.Value {
+	out := make(map[string]datum.Value, len(vars)+len(eventArgs))
+	for k, v := range eventArgs {
+		out[k] = v
+	}
+	for k, v := range vars {
+		out[k] = v
+	}
+	return out
+}
+
+func groupName(rules []*Rule) string {
+	if len(rules) == 1 {
+		return rules[0].Name
+	}
+	return fmt.Sprintf("group(%d)", len(rules))
+}
+
+func ruleItem(oid datum.OID) lock.Item { return lock.Item("obj/" + oid.String()) }

@@ -1,0 +1,162 @@
+package rule
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/event"
+)
+
+func TestParseCoupling(t *testing.T) {
+	cases := map[string]Coupling{
+		"immediate": Immediate,
+		"deferred":  Deferred,
+		"separate":  Separate,
+		"":          Immediate, // default
+	}
+	for src, want := range cases {
+		got, err := ParseCoupling(src)
+		if err != nil || got != want {
+			t.Errorf("ParseCoupling(%q) = %v, %v", src, got, err)
+		}
+	}
+	if _, err := ParseCoupling("bogus"); err == nil {
+		t.Error("bogus coupling accepted")
+	}
+	if Immediate.String() != "immediate" || Deferred.String() != "deferred" || Separate.String() != "separate" {
+		t.Error("String names wrong")
+	}
+}
+
+func TestCompileBasics(t *testing.T) {
+	r, err := compile(Def{
+		Name:      "r1",
+		Event:     "modify(Stock)",
+		Condition: []string{"select s from Stock s where s.price > 10"},
+		Action: []Step{{
+			Kind: StepCreate, Class: "Audit",
+			Attrs: map[string]string{"note": "'x'", "price": "event.new_price"},
+		}},
+		EC: "deferred", CA: "separate",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EC != Deferred || r.CA != Separate || r.Derived {
+		t.Fatalf("compiled = %+v", r)
+	}
+	if r.EventString() != "modify(Stock)" {
+		t.Fatalf("event = %q", r.EventString())
+	}
+	if len(r.Steps) != 1 || r.Steps[0].kind != StepCreate || len(r.Steps[0].attrs) != 2 {
+		t.Fatalf("steps = %+v", r.Steps)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []Def{
+		{},                             // no name
+		{Name: "r", Event: "bogus(X)"}, // bad event
+		{Name: "r", EC: "sometimes"},   // bad coupling
+		{Name: "r", CA: "never"},       // bad coupling
+		{Name: "r", Condition: []string{"not a query"}},
+		{Name: "r"}, // no event and no condition to derive from
+		{Name: "r", Event: "commit()", Action: []Step{{Kind: StepCreate}}},                // create without class
+		{Name: "r", Event: "commit()", Action: []Step{{Kind: StepModify}}},                // modify without target
+		{Name: "r", Event: "commit()", Action: []Step{{Kind: StepModify, Target: "1 +"}}}, // bad expr
+		{Name: "r", Event: "commit()", Action: []Step{{Kind: StepSignal}}},                // signal without event
+		{Name: "r", Event: "commit()", Action: []Step{{Kind: StepRequest}}},               // request without op
+		{Name: "r", Event: "commit()", Action: []Step{{Kind: StepCall}}},                  // call without fn
+		{Name: "r", Event: "commit()", Action: []Step{{Kind: "teleport"}}},                // unknown kind
+		{Name: "r", Event: "commit()", Action: []Step{{Kind: StepCreate, Class: "C",
+			Attrs: map[string]string{"a": "((("}}}}, // bad attr expr
+	}
+	for i, def := range cases {
+		if _, err := compile(def); err == nil {
+			t.Errorf("case %d (%+v) should fail to compile", i, def)
+		}
+	}
+}
+
+func TestDeriveSpecSingleClass(t *testing.T) {
+	r, err := compile(Def{
+		Name:      "d1",
+		Condition: []string{"select s from Stock s where s.price > 10"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Derived || r.EventString() != "anyop(Stock)" {
+		t.Fatalf("spec = %q", r.EventString())
+	}
+}
+
+func TestDeriveSpecMultiClass(t *testing.T) {
+	r, err := compile(Def{
+		Name: "d2",
+		Condition: []string{
+			"select s from Stock s, Holding h where s.symbol = h.symbol",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, ok := r.Spec.(event.Composite)
+	if !ok || spec.Op != event.Disjunction || len(spec.Parts) != 2 {
+		t.Fatalf("spec = %v", r.Spec)
+	}
+	// Deterministic class order.
+	if r.EventString() != "or(anyop(Holding), anyop(Stock))" {
+		t.Fatalf("spec = %q", r.EventString())
+	}
+}
+
+func TestEncodeDecodeDef(t *testing.T) {
+	def := Def{
+		Name:      "round",
+		Event:     "external(X)",
+		Condition: []string{"select s from Stock s"},
+		Action:    []Step{{Kind: StepSignal, Event: "Y", Args: map[string]string{"v": "event.v"}}},
+		EC:        "separate", CA: "separate",
+	}
+	attrs, err := encodeDef(def, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs["name"].AsString() != "round" || !attrs["enabled"].AsBool() {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	got, enabled, err := decodeDef(attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enabled || got.Name != def.Name || got.Event != def.Event ||
+		len(got.Condition) != 1 || len(got.Action) != 1 || got.EC != "separate" {
+		t.Fatalf("decoded = %+v", got)
+	}
+}
+
+func TestDecodeDefGarbage(t *testing.T) {
+	attrs, _ := encodeDef(Def{Name: "x", Event: "commit()"}, false)
+	// Corrupt the JSON.
+	s := attrs["def"].AsString()
+	attrs["def"] = datum.Str(s[:len(s)/2])
+	if _, _, err := decodeDef(attrs); err == nil {
+		t.Fatal("corrupt def decoded")
+	}
+}
+
+func TestDefinitionAccessor(t *testing.T) {
+	def := Def{Name: "acc", Event: "commit()"}
+	r, err := compile(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Definition().Name != "acc" {
+		t.Fatal("Definition() lost the name")
+	}
+	if !strings.Contains(r.EventString(), "commit") {
+		t.Fatal("EventString wrong")
+	}
+}

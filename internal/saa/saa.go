@@ -1,0 +1,154 @@
+// Package saa contains the schema, events, and ECA rules of the
+// Securities Analyst's Assistant, the first application built over
+// HiPAC (§4.2 of the paper, Figure 4.2). The application consists of
+// three kinds of programs — Ticker, Display, Trader — that never call
+// one another directly: every interaction flows through rule firings.
+//
+//	Ticker   updates current security prices from a (synthetic) wire
+//	         service.
+//	Display  shows price quotes and executed trades; driven by rules
+//	         whose actions request its display operations.
+//	Trader   executes trades when trading rules request them, then
+//	         signals the TradeExecuted event, which rules turn into
+//	         portfolio updates and display refreshes.
+//
+// The rule set mirrors the paper's: display rules couple "condition
+// and action together in a separate transaction"; the portfolio
+// update runs immediately in the trader's signalling transaction.
+package saa
+
+import (
+	"fmt"
+
+	"repro/internal/datum"
+	"repro/internal/object"
+	"repro/internal/rule"
+)
+
+// Attribute kinds used by the schema.
+const (
+	kindString = datum.KindString
+	kindFloat  = datum.KindFloat
+	kindInt    = datum.KindInt
+)
+
+// Class and operation names shared by the SAA programs.
+const (
+	ClassStock   = "Stock"
+	ClassHolding = "Holding"
+
+	EventTradeExecuted = "TradeExecuted"
+
+	OpDisplayQuote = "display_quote"
+	OpDisplayTrade = "display_trade"
+	OpExecuteTrade = "execute_trade"
+)
+
+// Classes returns the SAA schema.
+func Classes() []object.Class {
+	return []object.Class{
+		{
+			Name: ClassStock,
+			Attrs: []object.AttrDef{
+				{Name: "symbol", Kind: kindString, Required: true, Indexed: true},
+				{Name: "price", Kind: kindFloat, Indexed: true},
+			},
+		},
+		{
+			Name: ClassHolding,
+			Attrs: []object.AttrDef{
+				{Name: "owner", Kind: kindString, Required: true, Indexed: true},
+				{Name: "symbol", Kind: kindString, Required: true},
+				{Name: "qty", Kind: kindInt, Required: true},
+			},
+		},
+	}
+}
+
+// TradeEventParams are the formal parameters of TradeExecuted (§4.2:
+// "The execution of a trade is an event defined by SAA and signalled
+// by a trading program").
+var TradeEventParams = []string{"owner", "symbol", "qty", "price"}
+
+// DisplayQuoteRule drives the analyst's scrolling ticker window: on
+// every stock price update, send the quote to a display program. The
+// paper gives exactly this rule with "condition and action together
+// in a separate transaction".
+func DisplayQuoteRule(name string) rule.Def {
+	return rule.Def{
+		Name:  name,
+		Event: "modify(Stock)",
+		Condition: []string{
+			// The event signal carries the modified object; fetch its
+			// symbol and fresh price for the display request.
+			"select s.symbol as sym, s.price as p from Stock s where s = event.oid",
+		},
+		Action: []rule.Step{{
+			Kind: rule.StepRequest, Op: OpDisplayQuote,
+			Args: map[string]string{"symbol": "sym", "price": "p"},
+		}},
+		EC: "separate", CA: "immediate",
+	}
+}
+
+// BuyAtRule is the paper's trading rule: "an analyst might instruct
+// the application to buy 500 shares of Xerox for a client when the
+// price reaches 50". When the condition holds, the action requests
+// the trade from a trading program.
+func BuyAtRule(name, owner, symbol string, qty int64, limit float64) rule.Def {
+	return rule.Def{
+		Name:  name,
+		Event: fmt.Sprintf("modify(%s)", ClassStock),
+		Condition: []string{fmt.Sprintf(
+			"select s from Stock s where s = event.oid and s.symbol = '%s' and event.new_price >= %g",
+			symbol, limit)},
+		Action: []rule.Step{{
+			Kind: rule.StepRequest, Op: OpExecuteTrade,
+			Args: map[string]string{
+				"owner":  fmt.Sprintf("'%s'", owner),
+				"symbol": fmt.Sprintf("'%s'", symbol),
+				"qty":    fmt.Sprintf("%d", qty),
+				"price":  "event.new_price",
+			},
+		}},
+		EC: "separate", CA: "immediate",
+	}
+}
+
+// PortfolioUpdateRule applies an executed trade to the client's
+// holdings, immediately in the trader's signalling transaction (the
+// trade and the portfolio update commit or abort together).
+func PortfolioUpdateRule(name string) rule.Def {
+	return rule.Def{
+		Name:  name,
+		Event: "external(" + EventTradeExecuted + ")",
+		Condition: []string{
+			"select h from Holding h where h.owner = event.owner and h.symbol = event.symbol",
+		},
+		Action: []rule.Step{{
+			Kind: rule.StepModify, Target: "h",
+			Attrs: map[string]string{"qty": "h.qty + event.qty"},
+		}},
+		EC: "immediate", CA: "immediate",
+	}
+}
+
+// DisplayTradeRule refreshes the analyst's screen when a trade
+// executes (§4.2: "There is a display rule that causes the trade to
+// be displayed and the portfolio updated on the analyst's screen").
+func DisplayTradeRule(name string) rule.Def {
+	return rule.Def{
+		Name:  name,
+		Event: "external(" + EventTradeExecuted + ")",
+		Action: []rule.Step{{
+			Kind: rule.StepRequest, Op: OpDisplayTrade,
+			Args: map[string]string{
+				"owner":  "event.owner",
+				"symbol": "event.symbol",
+				"qty":    "event.qty",
+				"price":  "event.price",
+			},
+		}},
+		EC: "separate", CA: "immediate",
+	}
+}

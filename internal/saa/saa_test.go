@@ -1,0 +1,83 @@
+package saa
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cond"
+	"repro/internal/event"
+	"repro/internal/query"
+)
+
+// The SAA rule definitions must compile against the rule machinery:
+// events parse, conditions parse, and action expressions parse.
+
+func TestClassesWellFormed(t *testing.T) {
+	classes := Classes()
+	if len(classes) != 2 {
+		t.Fatalf("classes = %d", len(classes))
+	}
+	names := map[string]bool{}
+	for _, c := range classes {
+		if c.Name == "" || len(c.Attrs) == 0 {
+			t.Fatalf("malformed class %+v", c)
+		}
+		names[c.Name] = true
+	}
+	if !names[ClassStock] || !names[ClassHolding] {
+		t.Fatalf("missing classes: %v", names)
+	}
+}
+
+func TestRuleDefsCompile(t *testing.T) {
+	defs := []struct {
+		name  string
+		event string
+		conds []string
+	}{
+		{"dq", DisplayQuoteRule("dq").Event, DisplayQuoteRule("dq").Condition},
+		{"buy", BuyAtRule("buy", "a", "XRX", 500, 50).Event, BuyAtRule("buy", "a", "XRX", 500, 50).Condition},
+		{"pu", PortfolioUpdateRule("pu").Event, PortfolioUpdateRule("pu").Condition},
+		{"dt", DisplayTradeRule("dt").Event, DisplayTradeRule("dt").Condition},
+	}
+	for _, d := range defs {
+		if _, err := event.Parse(d.event); err != nil {
+			t.Errorf("%s: event %q: %v", d.name, d.event, err)
+		}
+		if _, err := cond.ParseCondition(d.conds); err != nil {
+			t.Errorf("%s: condition: %v", d.name, err)
+		}
+	}
+}
+
+func TestBuyAtRuleParameterized(t *testing.T) {
+	def := BuyAtRule("order-1", "clientB", "IBM", 100, 125.5)
+	if !strings.Contains(def.Condition[0], "'IBM'") ||
+		!strings.Contains(def.Condition[0], "125.5") {
+		t.Fatalf("condition = %q", def.Condition[0])
+	}
+	args := def.Action[0].Args
+	for name, src := range args {
+		if _, err := query.ParseExpr(src); err != nil {
+			t.Errorf("arg %q = %q: %v", name, src, err)
+		}
+	}
+	if args["qty"] != "100" || args["owner"] != "'clientB'" {
+		t.Fatalf("args = %v", args)
+	}
+}
+
+func TestCouplingsMatchPaper(t *testing.T) {
+	// §4.2: display and trading rules run "condition and action
+	// together in a separate transaction"; the portfolio update is
+	// immediate in the trader's transaction.
+	if d := DisplayQuoteRule("x"); d.EC != "separate" || d.CA != "immediate" {
+		t.Errorf("display rule coupling = %s/%s", d.EC, d.CA)
+	}
+	if d := BuyAtRule("x", "o", "S", 1, 1); d.EC != "separate" {
+		t.Errorf("trading rule EC = %s", d.EC)
+	}
+	if d := PortfolioUpdateRule("x"); d.EC != "immediate" {
+		t.Errorf("portfolio rule EC = %s", d.EC)
+	}
+}

@@ -1,0 +1,187 @@
+package server
+
+// TestFigure42SAA runs the paper's Securities Analyst's Assistant
+// end-to-end (experiment F4.2): three application programs — Ticker,
+// Display, Trader — connected to one HiPAC server, interacting ONLY
+// through rule firings, exactly as Figure 4.2 prescribes.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/datum"
+	"repro/internal/saa"
+)
+
+func TestFigure42SAA(t *testing.T) {
+	_, addr := startServer(t)
+
+	// --- setup program: schema, seed data, event, rules ---
+	setup := dial(t, addr)
+	tx, err := setup.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cls := range saa.Classes() {
+		if err := setup.DefineClass(tx, cls); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stockOIDs := map[string]datum.OID{}
+	for _, sym := range []string{"XRX", "IBM"} {
+		oid, err := setup.Create(tx, saa.ClassStock, map[string]datum.Value{
+			"symbol": datum.Str(sym), "price": datum.Float(48),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stockOIDs[sym] = oid
+	}
+	holdingOID, err := setup.Create(tx, saa.ClassHolding, map[string]datum.Value{
+		"owner": datum.Str("clientA"), "symbol": datum.Str("XRX"), "qty": datum.Int(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.DefineEvent(saa.EventTradeExecuted, saa.TradeEventParams...); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.CreateRule(saa.DisplayQuoteRule("display-ticker")); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.CreateRule(saa.BuyAtRule("buy-xrx-at-50", "clientA", "XRX", 500, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.CreateRule(saa.PortfolioUpdateRule("portfolio-update")); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.CreateRule(saa.DisplayTradeRule("display-trade")); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Display program: serves the display operations ---
+	display := dial(t, addr)
+	var dmu sync.Mutex
+	var quotes []string
+	var trades []string
+	if err := display.Serve(map[string]client.Handler{
+		saa.OpDisplayQuote: func(args map[string]datum.Value) (map[string]datum.Value, error) {
+			dmu.Lock()
+			quotes = append(quotes, args["symbol"].AsString())
+			dmu.Unlock()
+			return nil, nil
+		},
+		saa.OpDisplayTrade: func(args map[string]datum.Value) (map[string]datum.Value, error) {
+			dmu.Lock()
+			trades = append(trades, args["owner"].AsString()+"/"+args["symbol"].AsString())
+			dmu.Unlock()
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Trader program: executes trades, signals TradeExecuted ---
+	trader := dial(t, addr)
+	var tmu sync.Mutex
+	var executed []float64
+	if err := trader.Serve(map[string]client.Handler{
+		saa.OpExecuteTrade: func(args map[string]datum.Value) (map[string]datum.Value, error) {
+			tmu.Lock()
+			executed = append(executed, args["price"].AsFloat())
+			tmu.Unlock()
+			// Transmit to the trading service (simulated), then
+			// signal the trade on a separate goroutine: the signal
+			// fires rules whose locks may depend on this reply.
+			go func() {
+				ttx, err := trader.Begin()
+				if err != nil {
+					return
+				}
+				if err := trader.SignalEvent(ttx, saa.EventTradeExecuted, map[string]datum.Value{
+					"owner":  args["owner"],
+					"symbol": args["symbol"],
+					"qty":    args["qty"],
+					"price":  args["price"],
+				}); err != nil {
+					ttx.Abort()
+					return
+				}
+				ttx.Commit()
+			}()
+			return map[string]datum.Value{"status": datum.Str("sent")}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Ticker program: drives prices from the wire ---
+	// A deterministic mini-tape with exactly one XRX cross of 50.
+	ticker := dial(t, addr)
+	tape := []struct {
+		sym   string
+		price float64
+	}{
+		{"XRX", 49},
+		{"IBM", 120},
+		{"XRX", 50.25}, // triggers the trading rule
+	}
+	for _, q := range tape {
+		qt, err := ticker.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ticker.Modify(qt, stockOIDs[q.sym], map[string]datum.Value{
+			"price": datum.Float(q.price),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := qt.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// --- assertions: the whole pipeline ran through rules alone ---
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		check, _ := setup.Begin()
+		obj, err := setup.Get(check, holdingOID)
+		check.Commit()
+		if err == nil && obj.Attrs["qty"].AsInt() == 500 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("portfolio never updated (qty=%v err=%v)", obj.Attrs["qty"], err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Display eventually sees all three quotes and the trade.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		dmu.Lock()
+		nq, nt := len(quotes), len(trades)
+		dmu.Unlock()
+		if nq >= 3 && nt >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("display incomplete: %d quotes, %d trades", nq, nt)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	tmu.Lock()
+	if len(executed) != 1 || executed[0] != 50.25 {
+		t.Fatalf("trader executions = %v, want exactly one at 50.25", executed)
+	}
+	tmu.Unlock()
+	dmu.Lock()
+	if trades[0] != "clientA/XRX" {
+		t.Fatalf("trade display = %v", trades)
+	}
+	dmu.Unlock()
+}

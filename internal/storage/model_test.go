@@ -1,0 +1,210 @@
+package storage
+
+// Model-based randomized test: drive the versioned heap with a random
+// single-threaded schedule of nested transactions (begin-child, put,
+// delete, commit, abort) and compare every read against a simple
+// layered-map model.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/lock"
+)
+
+// modelTxn mirrors one transaction's uncommitted view in the model.
+type modelTxn struct {
+	id     lock.TxnID
+	parent *modelTxn
+	writes map[datum.OID]*int64 // nil pointer = tombstone
+}
+
+type model struct {
+	committed map[datum.OID]int64
+}
+
+// lookup resolves visibility exactly as the spec says: own writes,
+// then ancestors', then committed.
+func (m *model) lookup(t *modelTxn, oid datum.OID) (int64, bool) {
+	for cur := t; cur != nil; cur = cur.parent {
+		if v, ok := cur.writes[oid]; ok {
+			if v == nil {
+				return 0, false
+			}
+			return *v, true
+		}
+	}
+	v, ok := m.committed[oid]
+	return v, ok
+}
+
+func (m *model) commit(t *modelTxn) {
+	if t.parent == nil {
+		for oid, v := range t.writes {
+			if v == nil {
+				delete(m.committed, oid)
+			} else {
+				m.committed[oid] = *v
+			}
+		}
+		return
+	}
+	for oid, v := range t.writes {
+		t.parent.writes[oid] = v
+	}
+}
+
+func TestStorageAgainstModel(t *testing.T) {
+	topo := newTopo()
+	s, err := Open(topo, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdl := &model{committed: map[datum.OID]int64{}}
+
+	rng := rand.New(rand.NewSource(99))
+	var nextTxn lock.TxnID = 1
+	var oidPool []datum.OID
+	for i := 0; i < 10; i++ {
+		oidPool = append(oidPool, s.AllocOID())
+	}
+
+	// Active transaction stack (single-threaded schedule: we always
+	// operate on the innermost active transaction — exactly the
+	// parent-suspension discipline).
+	var stack []*modelTxn
+
+	begin := func() *modelTxn {
+		var parent *modelTxn
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		tx := &modelTxn{id: nextTxn, parent: parent, writes: map[datum.OID]*int64{}}
+		if parent != nil {
+			topo.setParent(tx.id, parent.id)
+		}
+		nextTxn++
+		stack = append(stack, tx)
+		return tx
+	}
+
+	finish := func(commit bool) {
+		tx := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if commit {
+			mdl.commit(tx)
+			if tx.parent == nil {
+				if err := s.CommitTop(tx.id); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := s.CommitNested(tx.id, tx.parent.id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			s.AbortTxn(tx.id)
+		}
+	}
+
+	verifyAll := func(step int) {
+		var reader *modelTxn
+		readerID := lock.TxnID(0)
+		if len(stack) > 0 {
+			reader = stack[len(stack)-1]
+			readerID = reader.id
+		}
+		for _, oid := range oidPool {
+			wantV, wantOK := int64(0), false
+			if reader != nil {
+				wantV, wantOK = mdl.lookup(reader, oid)
+			} else if v, ok := mdl.committed[oid]; ok {
+				wantV, wantOK = v, true
+			}
+			rec, gotOK := s.Get(readerID, oid)
+			if gotOK != wantOK {
+				t.Fatalf("step %d: Get(%d,%v) ok=%v want %v", step, readerID, oid, gotOK, wantOK)
+			}
+			if gotOK && rec.Attrs["v"].AsInt() != wantV {
+				t.Fatalf("step %d: Get(%d,%v) = %d want %d", step, readerID, oid,
+					rec.Attrs["v"].AsInt(), wantV)
+			}
+		}
+		// Scan agreement: live count matches the model.
+		want := 0
+		for _, oid := range oidPool {
+			if reader != nil {
+				if _, ok := mdl.lookup(reader, oid); ok {
+					want++
+				}
+			} else if _, ok := mdl.committed[oid]; ok {
+				want++
+			}
+		}
+		got := 0
+		s.ScanClass(readerID, "M", func(Record) bool { got++; return true })
+		if got != want {
+			t.Fatalf("step %d: scan found %d, model %d", step, got, want)
+		}
+	}
+
+	for step := 0; step < 20_000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 2: // begin (bounded depth)
+			if len(stack) < 5 {
+				begin()
+			}
+		case op < 4: // finish
+			if len(stack) > 0 {
+				finish(rng.Intn(2) == 0)
+			}
+		case op < 8: // put
+			if len(stack) == 0 {
+				begin()
+			}
+			tx := stack[len(stack)-1]
+			oid := oidPool[rng.Intn(len(oidPool))]
+			v := rng.Int63n(1000)
+			tx.writes[oid] = &v
+			s.Put(tx.id, Record{OID: oid, Class: "M",
+				Attrs: map[string]datum.Value{"v": datum.Int(v)}})
+		default: // delete
+			if len(stack) == 0 {
+				begin()
+			}
+			tx := stack[len(stack)-1]
+			oid := oidPool[rng.Intn(len(oidPool))]
+			// Only delete objects currently visible (matching the
+			// object layer, which refuses deletes of missing objects).
+			if _, ok := mdl.lookup(tx, oid); !ok {
+				continue
+			}
+			tx.writes[oid] = nil
+			s.Put(tx.id, Record{OID: oid, Class: "M", Deleted: true})
+		}
+		if step%500 == 0 {
+			verifyAll(step)
+		}
+	}
+	// Drain the stack and verify the committed tier.
+	for len(stack) > 0 {
+		finish(true)
+	}
+	verifyAll(-1)
+
+	// Also compare the full committed extent.
+	got := map[datum.OID]int64{}
+	s.ScanClass(0, "M", func(r Record) bool {
+		got[r.OID] = r.Attrs["v"].AsInt()
+		return true
+	})
+	if len(got) != len(mdl.committed) {
+		t.Fatalf("committed extent: %d objects, model %d", len(got), len(mdl.committed))
+	}
+	for oid, v := range mdl.committed {
+		if got[oid] != v {
+			t.Fatalf("oid %v: %d vs model %d", oid, got[oid], v)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package txn
+
+// Randomized schedule test: a random forest of nested transactions is
+// begun, committed, and aborted in a parent-suspension-respecting
+// order; the manager's bookkeeping invariants must hold throughout.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomTreeSchedules(t *testing.T) {
+	m, _ := NewSystem()
+	rng := rand.New(rand.NewSource(31))
+	committed := map[*Txn]bool{}
+
+	for round := 0; round < 300; round++ {
+		// Build a random chain of nested transactions (the deepest is
+		// the only operable one, matching parent suspension).
+		var chain []*Txn
+		chain = append(chain, m.Begin())
+		depth := rng.Intn(5)
+		for d := 0; d < depth; d++ {
+			c, err := chain[len(chain)-1].Child()
+			if err != nil {
+				t.Fatalf("round %d: child: %v", round, err)
+			}
+			chain = append(chain, c)
+		}
+		// Only the innermost may operate.
+		for i, tx := range chain {
+			err := tx.CheckOperable()
+			if i == len(chain)-1 && err != nil {
+				t.Fatalf("round %d: innermost not operable: %v", round, err)
+			}
+			if i < len(chain)-1 && err == nil {
+				t.Fatalf("round %d: suspended ancestor operable", round)
+			}
+		}
+		// Finish innermost-out with random commit/abort; once a level
+		// aborts, children were already finished (we go inside-out).
+		for i := len(chain) - 1; i >= 0; i-- {
+			tx := chain[i]
+			if rng.Intn(4) == 0 {
+				if err := tx.Abort(); err != nil {
+					t.Fatalf("round %d: abort: %v", round, err)
+				}
+				if tx.State() != Aborted {
+					t.Fatalf("round %d: state after abort = %v", round, tx.State())
+				}
+			} else {
+				if err := tx.Commit(); err != nil {
+					t.Fatalf("round %d: commit: %v", round, err)
+				}
+				if tx.State() != Committed {
+					t.Fatalf("round %d: state after commit = %v", round, tx.State())
+				}
+				committed[tx] = true
+			}
+			// Double completion always fails.
+			if err := tx.Commit(); err == nil {
+				t.Fatalf("round %d: double commit accepted", round)
+			}
+			if err := tx.Abort(); err == nil {
+				t.Fatalf("round %d: abort after completion accepted", round)
+			}
+		}
+		if live := m.Live(); live != 0 {
+			t.Fatalf("round %d: %d transactions leaked", round, live)
+		}
+	}
+}
+
+func TestRandomSiblingForests(t *testing.T) {
+	// A parent with several children finished in random order; the
+	// parent resumes exactly when the last child terminates.
+	m, _ := NewSystem()
+	rng := rand.New(rand.NewSource(32))
+	for round := 0; round < 200; round++ {
+		parent := m.Begin()
+		n := rng.Intn(4) + 1
+		kids := make([]*Txn, n)
+		for i := range kids {
+			c, err := parent.Child()
+			if err != nil {
+				t.Fatal(err)
+			}
+			kids[i] = c
+		}
+		rng.Shuffle(n, func(i, j int) { kids[i], kids[j] = kids[j], kids[i] })
+		for i, c := range kids {
+			if err := parent.CheckOperable(); err == nil {
+				t.Fatalf("round %d: parent operable with %d children left", round, n-i)
+			}
+			var err error
+			if rng.Intn(2) == 0 {
+				err = c.Commit()
+			} else {
+				err = c.Abort()
+			}
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+		if err := parent.CheckOperable(); err != nil {
+			t.Fatalf("round %d: parent did not resume: %v", round, err)
+		}
+		if err := parent.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Live() != 0 {
+		t.Fatal("transactions leaked")
+	}
+}

@@ -1,0 +1,221 @@
+// Package wal implements the write-ahead log that makes top-level
+// transaction commits durable. The log is a single append-only file of
+// length-prefixed, checksummed records. Recovery replays complete
+// records in order and truncates at the first torn or corrupt record
+// (standard redo-only recovery: only committed top-level effects are
+// ever logged, so no undo pass is needed).
+//
+// Record framing:
+//
+//	uint32 length (big-endian, payload bytes)
+//	uint32 CRC-32 (IEEE) of the payload
+//	payload
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// LSN is a log sequence number: the byte offset of a record's frame in
+// the log file.
+type LSN uint64
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Log is an append-only write-ahead log. It is safe for concurrent
+// use.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	end    LSN // offset at which the next record will be written
+	closed bool
+	sync   bool // fsync on Sync() when true
+}
+
+// Options configures a Log.
+type Options struct {
+	// NoSync disables fsync; Sync() becomes a no-op flush. Useful for
+	// benchmarks and tests where durability across OS crashes is not
+	// required.
+	NoSync bool
+}
+
+// Open opens (creating if necessary) the log at path, scans it for the
+// end of the valid prefix, and truncates any torn tail so subsequent
+// appends start from a clean state.
+func Open(path string, opts Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{f: f, path: path, sync: !opts.NoSync}
+	end, err := l.scanEnd()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(int64(end)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(int64(end), io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	l.end = end
+	return l, nil
+}
+
+// scanEnd walks the log from the start, returning the offset just past
+// the last complete, checksum-valid record.
+func (l *Log) scanEnd() (LSN, error) {
+	info, err := l.f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("wal: stat: %w", err)
+	}
+	size := info.Size()
+	var off int64
+	var hdr [8]byte
+	for off+8 <= size {
+		if _, err := l.f.ReadAt(hdr[:], off); err != nil {
+			return 0, fmt.Errorf("wal: read header at %d: %w", off, err)
+		}
+		length := binary.BigEndian.Uint32(hdr[0:4])
+		sum := binary.BigEndian.Uint32(hdr[4:8])
+		if off+8+int64(length) > size {
+			break // torn record
+		}
+		payload := make([]byte, length)
+		if _, err := l.f.ReadAt(payload, off+8); err != nil {
+			return 0, fmt.Errorf("wal: read payload at %d: %w", off, err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt record: end of valid prefix
+		}
+		off += 8 + int64(length)
+	}
+	return LSN(off), nil
+}
+
+// Append writes one record and returns its LSN. The record is not
+// durable until Sync returns.
+func (l *Log) Append(payload []byte) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	lsn := l.end
+	frame := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	if _, err := l.f.Write(frame); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.end += LSN(len(frame))
+	return lsn, nil
+}
+
+// Sync makes all appended records durable.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if !l.sync {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// End returns the LSN one past the last appended record.
+func (l *Log) End() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.end
+}
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var firstErr error
+	if l.sync {
+		firstErr = l.f.Sync()
+	}
+	if err := l.f.Close(); firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Replay calls fn for every complete valid record from the start of
+// the log, in append order. It stops early if fn returns an error and
+// returns that error.
+func (l *Log) Replay(fn func(lsn LSN, payload []byte) error) error {
+	l.mu.Lock()
+	end := l.end
+	f := l.f
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	var off LSN
+	var hdr [8]byte
+	for off < end {
+		if _, err := f.ReadAt(hdr[:], int64(off)); err != nil {
+			return fmt.Errorf("wal: replay header at %d: %w", off, err)
+		}
+		length := binary.BigEndian.Uint32(hdr[0:4])
+		payload := make([]byte, length)
+		if _, err := f.ReadAt(payload, int64(off)+8); err != nil {
+			return fmt.Errorf("wal: replay payload at %d: %w", off, err)
+		}
+		if err := fn(off, payload); err != nil {
+			return err
+		}
+		off += LSN(8 + length)
+	}
+	return nil
+}
+
+// Reset truncates the log to empty. Used after writing a checkpoint
+// snapshot: records folded into the snapshot are no longer needed.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: reset seek: %w", err)
+	}
+	l.end = 0
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: reset sync: %w", err)
+		}
+	}
+	return nil
+}
