@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datum"
 	"repro/internal/feed"
+	"repro/internal/obs"
 	"repro/internal/rule"
 	"repro/internal/saa"
 	"repro/internal/server"
@@ -536,6 +537,32 @@ func BenchmarkIndexVsScan(b *testing.B) {
 	}
 	b.Run("indexed", func(b *testing.B) { run(b, true) })
 	b.Run("scan", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkObsOverhead ablates the observability subsystem: the same
+// rule-firing update loop with histograms+tracing on (the default)
+// and fully disabled. The enabled/disabled delta is the total
+// instrumentation cost on the hot path.
+func BenchmarkObsOverhead(b *testing.B) {
+	run := func(b *testing.B, disabled bool) {
+		e, err := core.Open(core.Options{
+			Clock: hipac.NewVirtualClock(workload.Epoch),
+			Obs:   obs.Options{Disabled: disabled},
+		})
+		mustB(b, err)
+		b.Cleanup(func() { e.Close() })
+		mustB(b, workload.DefineBase(e))
+		oids, err := workload.SeedStocks(e, 1)
+		mustB(b, err)
+		_, err = e.CreateRule(workload.AuditRuleDef("audit", "immediate", "immediate"))
+		mustB(b, err)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mustB(b, workload.UpdateOne(e, oids[0], float64(i)))
+		}
+	}
+	b.Run("enabled", func(b *testing.B) { run(b, false) })
+	b.Run("disabled", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkWALDurability ablates the write-ahead log: committed

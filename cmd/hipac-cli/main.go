@@ -22,6 +22,8 @@
 //	rules                          list rules
 //	enable|disable|drop <rule>     manage a rule
 //	fire <rule> [<param>=<value> ...]      fire a rule manually
+//	stats                          engine counters + latency histograms
+//	trace last [n]                 show the newest n firing trees
 //	help                           this text
 //	quit
 //
@@ -35,12 +37,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/datum"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/rule"
 )
 
@@ -331,16 +336,46 @@ func (s *shell) exec(line string) error {
 		return nil
 
 	case "stats":
-		raw, err := s.c.Stats()
+		rep, err := s.c.Stats()
 		if err != nil {
 			return err
 		}
 		var pretty map[string]any
-		if err := json.Unmarshal(raw, &pretty); err != nil {
+		if err := json.Unmarshal(rep.Engine, &pretty); err != nil {
 			return err
 		}
 		out, _ := json.MarshalIndent(pretty, "", "  ")
 		fmt.Fprintln(s.out, string(out))
+		printObs(s.out, rep.Obs)
+		return nil
+
+	case "trace":
+		// trace last [n] — show the newest n finished firing trees.
+		n := 1
+		if len(args) > 0 && args[0] == "last" {
+			args = args[1:]
+		}
+		if len(args) > 0 {
+			v, err := strconv.Atoi(args[0])
+			if err != nil {
+				return fmt.Errorf("usage: trace last [n]")
+			}
+			n = v
+		}
+		trees, err := s.c.Trace(n)
+		if err != nil {
+			return err
+		}
+		if len(trees) == 0 {
+			fmt.Fprintln(s.out, "(no firing trees recorded)")
+			return nil
+		}
+		for i, tree := range trees {
+			if i > 0 {
+				fmt.Fprintln(s.out)
+			}
+			printSpan(s.out, &tree, 0)
+		}
 		return nil
 
 	case "fire":
@@ -365,6 +400,58 @@ func oneArg(args []string, usage string, fn func(string) error) error {
 	return fn(args[0])
 }
 
+// printObs renders the latency histograms and trace-ring totals that
+// ride along with the engine counters in a stats reply.
+func printObs(w io.Writer, s obs.Snapshot) {
+	if !s.Enabled {
+		fmt.Fprintln(w, "\n(observability disabled)")
+		return
+	}
+	names := make([]string, 0, len(s.Hist))
+	for name := range s.Hist {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\n%-14s %10s %12s %12s %12s\n", "LATENCY", "COUNT", "MEAN", "P50", "P99")
+	for _, name := range names {
+		h := s.Hist[name]
+		if h.Count == 0 {
+			fmt.Fprintf(w, "%-14s %10d %12s %12s %12s\n", name, 0, "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-14s %10d %12v %12v %12v\n",
+			name, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+	}
+	fmt.Fprintf(w, "traces: %d recorded, %d dropped (capacity %d); slow firings: %d\n",
+		s.TraceRecorded, s.TraceDropped, s.TraceCapacity, s.SlowFirings)
+}
+
+// printSpan renders one firing-tree node and recurses over its
+// children, two spaces per depth level.
+func printSpan(w io.Writer, sp *obs.SpanSnapshot, depth int) {
+	indent := strings.Repeat("  ", depth)
+	line := indent + sp.Kind
+	if sp.Name != "" {
+		line += " " + sp.Name
+	}
+	if sp.Mode != "" {
+		line += " [" + sp.Mode + "]"
+	}
+	if sp.Outcome != "" {
+		line += " " + sp.Outcome
+	}
+	if sp.Txn != 0 {
+		line += fmt.Sprintf(" txn=%d", sp.Txn)
+	}
+	if sp.DurNS > 0 {
+		line += fmt.Sprintf(" (%v)", time.Duration(sp.DurNS))
+	}
+	fmt.Fprintln(w, line)
+	for i := range sp.Children {
+		printSpan(w, &sp.Children[i], depth+1)
+	}
+}
+
 const helpText = `commands:
   begin / child / commit / abort
   class <Name> <attr>:<kind>[!][*] ...
@@ -378,7 +465,7 @@ const helpText = `commands:
   rule <file.json> | replace <file.json> | rules
   enable|disable|drop <rule>
   fire <rule> [<param>=<value> ...]
-  stats | graph
+  stats | graph | trace last [n]
   quit`
 
 func parseAttrDef(spec string) (object.AttrDef, error) {

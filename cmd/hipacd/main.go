@@ -6,12 +6,17 @@
 // Usage:
 //
 //	hipacd [-addr 127.0.0.1:4815] [-dir /var/lib/hipac] [-nosync]
+//	       [-metrics :9090]
+//
+// With -metrics, an HTTP listener serves the engine's counters and
+// latency histograms in Prometheus text format at /metrics.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -24,6 +29,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:4815", "listen address")
 	dir := flag.String("dir", "", "durability directory (empty: in-memory)")
 	nosync := flag.Bool("nosync", false, "disable fsync on the write-ahead log")
+	metrics := flag.String("metrics", "", "Prometheus /metrics listen address (empty: disabled)")
 	flag.Parse()
 
 	eng, err := core.Open(core.Options{Dir: *dir, NoSync: *nosync})
@@ -32,20 +38,45 @@ func main() {
 	}
 	srv := server.New(eng)
 
-	done := make(chan os.Signal, 1)
-	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	var msrv *http.Server
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := eng.WritePrometheus(w); err != nil {
+				log.Printf("hipacd: metrics: %v", err)
+			}
+		})
+		msrv = &http.Server{Addr: *metrics, Handler: mux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("hipacd: metrics listener: %v", err)
+			}
+		}()
+		fmt.Printf("hipacd: metrics on http://%s/metrics\n", *metrics)
+	}
+
+	// The signal goroutine only closes the server; ListenAndServe then
+	// returns nil (close is flagged before the listener shuts), and
+	// main — never the goroutine — tears down the engine and exits, so
+	// a SIGTERM cannot race eng.Close with process exit.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-done
+		<-sigCh
 		log.Printf("hipacd: shutting down")
 		srv.Close()
-		if err := eng.Close(); err != nil {
-			log.Printf("hipacd: close: %v", err)
-		}
-		os.Exit(0)
 	}()
 
 	fmt.Printf("hipacd: serving on %s (dir=%q)\n", *addr, *dir)
-	if err := srv.ListenAndServe(*addr); err != nil {
-		log.Fatalf("hipacd: %v", err)
+	serveErr := srv.ListenAndServe(*addr)
+	if msrv != nil {
+		msrv.Close()
+	}
+	if err := eng.Close(); err != nil {
+		log.Printf("hipacd: close: %v", err)
+	}
+	if serveErr != nil {
+		log.Fatalf("hipacd: %v", serveErr)
 	}
 }

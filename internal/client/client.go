@@ -7,7 +7,6 @@
 package client
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -16,6 +15,7 @@ import (
 	"repro/internal/datum"
 	"repro/internal/ipc"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/rule"
 )
 
@@ -382,12 +382,23 @@ func (c *Client) Graph() ([]ipc.GraphNode, error) {
 	return rep.Nodes, nil
 }
 
-// Stats fetches the server's aggregated engine counters as raw JSON
-// (the shape is the engine's Stats struct; see internal/core).
-func (c *Client) Stats() (json.RawMessage, error) {
-	var rep json.RawMessage
+// Stats fetches the server's counters: the engine's Stats struct as
+// raw JSON (see internal/core) plus the observability snapshot with
+// the latency histograms.
+func (c *Client) Stats() (*ipc.StatsRep, error) {
+	var rep ipc.StatsRep
 	if err := c.call(ipc.OpStats, nil, &rep); err != nil {
 		return nil, err
 	}
-	return rep, nil
+	return &rep, nil
+}
+
+// Trace fetches the server's newest finished firing trees, newest
+// first (n <= 0 means all retained).
+func (c *Client) Trace(n int) ([]obs.SpanSnapshot, error) {
+	var rep ipc.TraceRep
+	if err := c.call(ipc.OpTrace, ipc.TraceReq{Last: n}, &rep); err != nil {
+		return nil, err
+	}
+	return rep.Traces, nil
 }

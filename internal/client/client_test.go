@@ -84,12 +84,18 @@ func TestStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	raw, err := c.Stats()
+	rep, err := c.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(raw), "Rules") {
-		t.Fatalf("stats json = %s", raw)
+	if !strings.Contains(string(rep.Engine), "Rules") {
+		t.Fatalf("engine stats json = %s", rep.Engine)
+	}
+	if !rep.Obs.Enabled {
+		t.Fatal("observability should be enabled by default")
+	}
+	if _, ok := rep.Obs.Hist["ipc_request"]; !ok {
+		t.Fatalf("missing ipc_request histogram: %v", rep.Obs.Hist)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/datum"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -123,7 +124,12 @@ type Evaluator struct {
 	rules  map[uint64]*ruleEntry
 	modSeq ModSeqFunc
 	stats  Stats
+	obsm   *obs.Metrics // nil-safe evaluation-latency observer
 }
+
+// SetObserver installs an evaluation-latency observer. Not safe to
+// call concurrently with evaluation.
+func (e *Evaluator) SetObserver(o *obs.Metrics) { e.obsm = o }
 
 // New returns an evaluator using modSeq for incremental-cache
 // invalidation (pass nil to disable cross-event caching).
@@ -292,10 +298,12 @@ func (e *Evaluator) evalNode(n *qnode, reader query.Reader,
 		e.mu.Unlock()
 	}
 
+	tm := e.obsm.Timer(obs.HCondEval)
 	res, err := query.Eval(n.q, reader, eventArgs)
 	if err != nil {
 		return nil, err
 	}
+	tm.Done()
 	e.mu.Lock()
 	e.stats.Evaluations++
 	if clean && n.eventFree && e.modSeq != nil {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/lock"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rule"
 	"repro/internal/storage"
@@ -40,6 +41,10 @@ type Options struct {
 	// Clock supplies time for temporal events; nil means the wall
 	// clock. Tests pass a *clock.Virtual.
 	Clock clock.Clock
+	// Obs configures the observability subsystem (histograms and the
+	// firing-tree tracer). The zero value enables it with defaults;
+	// set Obs.Disabled to run without instrumentation.
+	Obs obs.Options
 }
 
 // AppHandler serves one application operation invoked by rule actions
@@ -57,6 +62,7 @@ type Engine struct {
 	Detectors  *event.Detectors
 	Conditions *cond.Evaluator
 	Rules      *rule.Manager
+	Obs        *obs.Obs // always non-nil after Open
 
 	mu        sync.RWMutex
 	appOps    map[string]AppHandler
@@ -72,15 +78,20 @@ func Open(opts Options) (*Engine, error) {
 	if clk == nil {
 		clk = clock.Real()
 	}
+	o := obs.New(opts.Obs)
 	txns, locks := txn.NewSystem()
-	store, err := storage.Open(txns, storage.Options{Dir: opts.Dir, NoSync: opts.NoSync})
+	txns.SetObserver(o.Metrics())
+	locks.SetObserver(o.Metrics())
+	store, err := storage.Open(txns, storage.Options{Dir: opts.Dir, NoSync: opts.NoSync, Obs: o.Metrics()})
 	if err != nil {
 		return nil, err
 	}
 	txns.Register(store)
 	objects := object.NewManager(store, nil)
 	conds := cond.New(store.ModSeq)
+	conds.SetObserver(o.Metrics())
 	rules := rule.NewManager(txns, objects, conds)
+	rules.SetObs(o)
 
 	e := &Engine{
 		clk:        clk,
@@ -90,10 +101,12 @@ func Open(opts Options) (*Engine, error) {
 		Objects:    objects,
 		Conditions: conds,
 		Rules:      rules,
+		Obs:        o,
 		appOps:     map[string]AppHandler{},
 		extEvents:  map[string][]string{},
 	}
 	det := event.New(clk, rules.HandleEmit)
+	det.SetObserver(o.Metrics())
 	det.SetAsyncErrorHandler(func(err error) {
 		e.mu.Lock()
 		e.asyncErrs = append(e.asyncErrs, err)
@@ -178,21 +191,29 @@ func (e *Engine) DropClass(tx *txn.Txn, name string) error {
 
 // Create creates an object.
 func (e *Engine) Create(tx *txn.Txn, class string, attrs map[string]datum.Value) (datum.OID, error) {
+	tm := e.Obs.Metrics().Timer(obs.HOp)
+	defer tm.Done()
 	return e.Objects.Create(tx, class, attrs)
 }
 
 // Modify updates an object's attributes.
 func (e *Engine) Modify(tx *txn.Txn, oid datum.OID, updates map[string]datum.Value) error {
+	tm := e.Obs.Metrics().Timer(obs.HOp)
+	defer tm.Done()
 	return e.Objects.Modify(tx, oid, updates)
 }
 
 // Delete removes an object.
 func (e *Engine) Delete(tx *txn.Txn, oid datum.OID) error {
+	tm := e.Obs.Metrics().Timer(obs.HOp)
+	defer tm.Done()
 	return e.Objects.Delete(tx, oid)
 }
 
 // Get fetches an object.
 func (e *Engine) Get(tx *txn.Txn, oid datum.OID) (storage.Record, error) {
+	tm := e.Obs.Metrics().Timer(obs.HOp)
+	defer tm.Done()
 	return e.Objects.Get(tx, oid)
 }
 
@@ -204,6 +225,8 @@ func (e *Engine) Classes(tx *txn.Txn) ([]object.Class, error) {
 // Query parses and evaluates a select statement within tx. args, if
 // non-nil, bind event.<name> references in the query.
 func (e *Engine) Query(tx *txn.Txn, src string, args map[string]datum.Value) (*query.Result, error) {
+	tm := e.Obs.Metrics().Timer(obs.HOp)
+	defer tm.Done()
 	q, err := query.Parse(src)
 	if err != nil {
 		return nil, err

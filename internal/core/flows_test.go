@@ -15,33 +15,25 @@ import (
 	"repro/internal/datum"
 	"repro/internal/lock"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/rule"
 	"repro/internal/txn"
 )
 
-// traceRecorder captures rule-manager traces.
-type traceRecorder struct {
-	mu     sync.Mutex
-	traces []rule.Trace
-}
-
-func (r *traceRecorder) record(t rule.Trace) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.traces = append(r.traces, t)
-}
-
-func (r *traceRecorder) snapshot() []rule.Trace {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return append([]rule.Trace(nil), r.traces...)
-}
-
-func (r *traceRecorder) kinds() []string {
-	var out []string
-	for _, t := range r.snapshot() {
-		out = append(out, t.Kind)
+// lastTrace returns the newest finished firing tree.
+func lastTrace(t *testing.T, e *Engine) obs.SpanSnapshot {
+	t.Helper()
+	trees := e.Obs.Tracer().Last(1)
+	if len(trees) == 0 {
+		t.Fatal("no firing trees recorded")
 	}
+	return trees[0]
+}
+
+// kindsOf flattens a firing tree to its span kinds, pre-order.
+func kindsOf(s obs.SpanSnapshot) []string {
+	var out []string
+	s.Walk(func(n *obs.SpanSnapshot, _ int) { out = append(out, n.Kind) })
 	return out
 }
 
@@ -52,27 +44,31 @@ func TestEventSignalFlow(t *testing.T) {
 	e, _ := newEngine(t)
 	defineStockAndAudit(t, e)
 	oid := createStock(t, e, "XRX", 48)
-	rec := &traceRecorder{}
-	e.Rules.SetTrace(rec.record)
 	e.CreateRule(auditRule("audit", "immediate", "immediate"))
 
 	tx := e.Begin()
 	if err := e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(50)}); err != nil {
 		t.Fatal(err)
 	}
-	traces := rec.snapshot()
-	if len(traces) != 2 || traces[0].Kind != "cond" || traces[1].Kind != "action" {
-		t.Fatalf("trace = %v", rec.kinds())
+	tree := lastTrace(t, e)
+	if tree.Kind != "signal" || tree.Txn != uint64(tx.ID()) || len(tree.Children) != 2 {
+		t.Fatalf("tree = %v (root %+v)", kindsOf(tree), tree)
 	}
-	condTr, actTr := traces[0], traces[1]
-	if condTr.Parent != tx.ID() || actTr.Parent != tx.ID() {
-		t.Fatalf("condition/action not anchored at the trigger: %+v %+v (trigger %d)", condTr, actTr, tx.ID())
+	condSp, actSp := tree.Children[0], tree.Children[1]
+	if condSp.Kind != "cond" || actSp.Kind != "action" {
+		t.Fatalf("trace = %v", kindsOf(tree))
 	}
-	if condTr.Txn == actTr.Txn {
+	if condSp.ParentTxn != uint64(tx.ID()) || actSp.ParentTxn != uint64(tx.ID()) {
+		t.Fatalf("condition/action not anchored at the trigger: %+v %+v (trigger %d)", condSp, actSp, tx.ID())
+	}
+	if condSp.Txn == actSp.Txn {
 		t.Fatal("condition and action must run in distinct subtransactions")
 	}
-	if condTr.Txn <= tx.ID() || actTr.Txn <= condTr.Txn {
-		t.Fatalf("transaction creation order wrong: trigger=%d cond=%d action=%d", tx.ID(), condTr.Txn, actTr.Txn)
+	if condSp.Txn <= uint64(tx.ID()) || actSp.Txn <= condSp.Txn {
+		t.Fatalf("transaction creation order wrong: trigger=%d cond=%d action=%d", tx.ID(), condSp.Txn, actSp.Txn)
+	}
+	if actSp.Outcome != "fired" {
+		t.Fatalf("action outcome = %q, want fired", actSp.Outcome)
 	}
 	// The trigger is operable again (all subtransactions terminated).
 	if err := tx.CheckOperable(); err != nil {
@@ -87,30 +83,39 @@ func TestCommitFlow(t *testing.T) {
 	e, _ := newEngine(t)
 	defineStockAndAudit(t, e)
 	oid := createStock(t, e, "XRX", 48)
-	rec := &traceRecorder{}
-	e.Rules.SetTrace(rec.record)
 	e.CreateRule(auditRule("audit", "deferred", "immediate"))
 
 	tx := e.Begin()
 	e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(50)})
 	e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(51)})
-	if got := rec.kinds(); fmt.Sprint(got) != "[deferred-queue deferred-queue]" {
-		t.Fatalf("pre-commit trace = %v", got)
+	// Pre-commit: each modify produced a signal tree holding only a
+	// queue marker — nothing fired yet.
+	pre := e.Obs.Tracer().Last(2)
+	if len(pre) != 2 {
+		t.Fatalf("pre-commit trees = %d, want 2", len(pre))
+	}
+	for _, s := range pre {
+		if got := fmt.Sprint(kindsOf(s)); got != "[signal deferred-queue]" {
+			t.Fatalf("pre-commit trace = %v", got)
+		}
 	}
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	got := rec.kinds()
-	want := "[deferred-queue deferred-queue deferred-drain cond action deferred-drain cond action]"
-	if fmt.Sprint(got) != want {
+	drain := lastTrace(t, e)
+	want := "[commit deferred-drain cond action deferred-drain cond action]"
+	if got := fmt.Sprint(kindsOf(drain)); got != want {
 		t.Fatalf("trace = %v, want %v", got, want)
 	}
-	// Drained firings are anchored at the committing transaction.
-	for _, tr := range rec.snapshot() {
-		if tr.Kind == "cond" && tr.Parent != tx.ID() {
-			t.Fatalf("deferred condition parent = %d, want trigger %d", tr.Parent, tx.ID())
-		}
+	if drain.Txn != uint64(tx.ID()) {
+		t.Fatalf("drain txn = %d, want committing transaction %d", drain.Txn, tx.ID())
 	}
+	// Drained firings are anchored at the committing transaction.
+	drain.Walk(func(n *obs.SpanSnapshot, _ int) {
+		if n.Kind == "cond" && n.ParentTxn != uint64(tx.ID()) {
+			t.Fatalf("deferred condition parent = %d, want trigger %d", n.ParentTxn, tx.ID())
+		}
+	})
 }
 
 func TestRuleCreationFlow(t *testing.T) {
@@ -215,8 +220,6 @@ func TestCascadeProducesNestedTree(t *testing.T) {
 	}
 	tx0.Commit()
 	oid := createStock(t, e, "XRX", 48)
-	rec := &traceRecorder{}
-	e.Rules.SetTrace(rec.record)
 
 	e.CreateRule(rule.Def{
 		Name:  "lvl1",
@@ -237,19 +240,33 @@ func TestCascadeProducesNestedTree(t *testing.T) {
 	if err := e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(50)}); err != nil {
 		t.Fatal(err)
 	}
-	// Find lvl1's action txn and lvl2's firing parent: lvl2 must be
-	// anchored at lvl1's action subtransaction, forming a tree.
-	var lvl1Action, lvl2CondParent lock.TxnID
-	for _, tr := range rec.snapshot() {
-		if tr.Kind == "action" && tr.Rule == "lvl1" {
-			lvl1Action = tr.Txn
+	// lvl2's cascaded signal must hang under lvl1's action span, whose
+	// subtransaction anchors lvl2's condition — one tree, depth >= 4:
+	// signal -> action(lvl1) -> signal -> cond/action(lvl2).
+	tree := lastTrace(t, e)
+	var lvl1Action *obs.SpanSnapshot
+	tree.Walk(func(n *obs.SpanSnapshot, _ int) {
+		if n.Kind == "action" && n.Name == "lvl1" {
+			lvl1Action = n
 		}
-		if tr.Kind == "cond" && lvl1Action != 0 && tr.Parent == lvl1Action {
-			lvl2CondParent = tr.Parent
-		}
+	})
+	if lvl1Action == nil {
+		t.Fatalf("no lvl1 action span: %v", kindsOf(tree))
 	}
-	if lvl1Action == 0 || lvl2CondParent != lvl1Action {
-		t.Fatalf("cascade not nested under lvl1's action: traces=%v", rec.snapshot())
+	if len(lvl1Action.Children) == 0 || lvl1Action.Children[0].Kind != "signal" {
+		t.Fatalf("cascade not nested under lvl1's action: %v", kindsOf(tree))
+	}
+	nested := false
+	lvl1Action.Walk(func(n *obs.SpanSnapshot, _ int) {
+		if n.Kind == "cond" && n.ParentTxn == lvl1Action.Txn {
+			nested = true
+		}
+	})
+	if !nested {
+		t.Fatalf("lvl2 condition not anchored at lvl1's action txn %d: %v", lvl1Action.Txn, kindsOf(tree))
+	}
+	if d := tree.Depth(); d < 4 {
+		t.Fatalf("cascade tree depth = %d, want >= 4", d)
 	}
 	tx.Commit()
 }

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// WritePrometheus renders the engine's counters and the observability
+// subsystem's histograms in the Prometheus text exposition format.
+// hipacd serves it on the optional -metrics listener.
+func (e *Engine) WritePrometheus(w io.Writer) error {
+	s := e.Stats()
+	counters := []struct {
+		name  string
+		value uint64
+	}{
+		{"hipac_store_puts_total", s.Store.Puts},
+		{"hipac_store_gets_total", s.Store.Gets},
+		{"hipac_store_scans_total", s.Store.Scans},
+		{"hipac_store_index_probes_total", s.Store.IndexProbes},
+		{"hipac_store_top_commits_total", s.Store.TopCommits},
+		{"hipac_store_wal_bytes_total", s.Store.WALBytes},
+		{"hipac_locks_acquired_total", s.Locks.Acquired},
+		{"hipac_locks_waited_total", s.Locks.Waited},
+		{"hipac_locks_deadlocks_total", s.Locks.Deadlocks},
+		{"hipac_event_database_signals_total", s.Detectors.DatabaseSignals},
+		{"hipac_event_external_signals_total", s.Detectors.ExternalSignals},
+		{"hipac_event_temporal_firings_total", s.Detectors.TemporalFirings},
+		{"hipac_event_emissions_total", s.Detectors.Emissions},
+		{"hipac_cond_evaluations_total", s.Conditions.Evaluations},
+		{"hipac_cond_shared_hits_total", s.Conditions.SharedHits},
+		{"hipac_cond_cache_hits_total", s.Conditions.CacheHits},
+		{"hipac_rule_signals_total", s.Rules.Signals},
+		{"hipac_rule_triggered_total", s.Rules.Triggered},
+		{"hipac_rule_immediate_firings_total", s.Rules.ImmediateFirings},
+		{"hipac_rule_deferred_firings_total", s.Rules.DeferredFirings},
+		{"hipac_rule_separate_firings_total", s.Rules.SeparateFirings},
+		{"hipac_rule_conditions_satisfied_total", s.Rules.ConditionsSatisfied},
+		{"hipac_rule_actions_executed_total", s.Rules.ActionsExecuted},
+		{"hipac_rule_async_errors_total", s.Rules.AsyncErrors},
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.value); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE hipac_live_txns gauge\nhipac_live_txns %d\n", s.LiveTxns); err != nil {
+		return err
+	}
+	return obs.WritePrometheus(w, e.Obs.Snapshot(), "hipac")
+}

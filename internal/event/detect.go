@@ -8,6 +8,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/datum"
 	"repro/internal/lock"
+	"repro/internal/obs"
 )
 
 // SubID identifies a programmed event subscription (one per rule
@@ -67,9 +68,14 @@ type Detectors struct {
 	dbIndex map[dbKey][]*sub
 	extIdx  map[string][]*sub
 	stats   Stats
+	obsm    *obs.Metrics // nil-safe emission-latency observer
 
 	asyncErr func(error) // errors from temporal firings (no caller to return to)
 }
+
+// SetObserver installs an emission-latency observer. Not safe to call
+// concurrently with detection.
+func (d *Detectors) SetObserver(o *obs.Metrics) { d.obsm = o }
 
 // New returns detectors that report matched events to emit, using clk
 // for temporal events.
@@ -223,7 +229,10 @@ type emission struct {
 func (d *Detectors) send(emits []emission) error {
 	var first error
 	for _, e := range emits {
-		if err := d.emit(e.id, e.sig); err != nil && first == nil {
+		tm := d.obsm.Timer(obs.HSignal)
+		err := d.emit(e.id, e.sig)
+		tm.Done()
+		if err != nil && first == nil {
 			first = err
 		}
 	}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/datum"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/rule"
 )
 
@@ -129,6 +130,7 @@ const (
 	OpListRules   = "listRules"
 	OpServe       = "serve"
 	OpStats       = "stats"
+	OpTrace       = "trace"
 	OpGraph       = "graph"
 )
 
@@ -259,6 +261,25 @@ type ListRulesRep struct {
 // serves; the server routes matching rule-action requests to it.
 type ServeReq struct {
 	Ops []string `json:"ops"`
+}
+
+// StatsRep carries the engine counters plus the observability
+// snapshot (histograms and trace-ring totals). Engine stays a raw
+// message so the protocol does not pin the engine's Stats layout.
+type StatsRep struct {
+	Engine json.RawMessage `json:"engine"`
+	Obs    obs.Snapshot    `json:"obs"`
+}
+
+// TraceReq asks for the newest finished firing trees (Last <= 0 means
+// all retained).
+type TraceReq struct {
+	Last int `json:"last"`
+}
+
+// TraceRep returns firing trees, newest first.
+type TraceRep struct {
+	Traces []obs.SpanSnapshot `json:"traces"`
 }
 
 // GraphNode describes one condition-graph node (rule-base tooling).

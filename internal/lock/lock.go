@@ -22,6 +22,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // TxnID identifies a transaction. ID 0 is reserved for "committed
@@ -94,7 +96,12 @@ type Manager struct {
 	waits    map[TxnID]waitRecord // who is blocked, and on what
 	canceled map[TxnID]bool
 	stats    Stats
+	obsm     *obs.Metrics // nil-safe wait-latency observer
 }
+
+// SetObserver installs a wait-latency observer. Not safe to call
+// concurrently with lock processing.
+func (m *Manager) SetObserver(o *obs.Metrics) { m.obsm = o }
 
 // NewManager returns a lock manager that resolves ancestry through
 // top.
@@ -117,9 +124,13 @@ func NewManager(top Topology) *Manager {
 func (m *Manager) Acquire(tx TxnID, item Item, mode Mode) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// waitTimer stays zero (a no-op) unless the request blocks; it
+	// then measures block-to-resolution, whatever the outcome.
+	var waitTimer obs.Timer
 	for {
 		if m.canceled[tx] {
 			delete(m.waits, tx)
+			waitTimer.Done()
 			return fmt.Errorf("%w (txn %d, item %q)", ErrCanceled, tx, item)
 		}
 		e := m.locks[item]
@@ -133,15 +144,18 @@ func (m *Manager) Acquire(tx TxnID, item Item, mode Mode) error {
 			}
 			delete(m.waits, tx)
 			m.stats.Acquired++
+			waitTimer.Done()
 			return nil
 		}
 		if _, alreadyWaiting := m.waits[tx]; !alreadyWaiting {
 			m.stats.Waited++
+			waitTimer = m.obsm.Timer(obs.HLockWait)
 		}
 		m.waits[tx] = waitRecord{item: item, mode: mode}
 		if m.inCycle(tx) {
 			delete(m.waits, tx)
 			m.stats.Deadlocks++
+			waitTimer.Done()
 			return fmt.Errorf("%w (txn %d, item %q, mode %s)", ErrDeadlock, tx, item, mode)
 		}
 		m.cond.Wait()

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every latency histogram.
+// Bucket i (i < NumBuckets-1) holds observations below 2^i
+// microseconds; the last bucket is the overflow (everything from
+// 2^(NumBuckets-2) µs ≈ 1s upward).
+const NumBuckets = 22
+
+// Histogram is a fixed-bucket, exponentially-spaced latency
+// histogram. Observe is lock-free (three atomic adds); Snapshot reads
+// are not atomic across buckets but each counter is monotone, so a
+// concurrent snapshot is a valid histogram of a slightly smeared
+// instant — fine for monitoring.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNS   atomic.Int64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a duration to its bucket: bits.Len64 of the
+// microsecond count, clamped to the overflow bucket.
+func bucketIndex(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	i := bits.Len64(uint64(d / time.Microsecond))
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	return i
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	h.buckets[bucketIndex(d)].Add(1)
+}
+
+// BucketUpperMicros returns bucket i's exclusive upper bound in
+// microseconds; the last bucket returns math.MaxUint64 (+Inf).
+func BucketUpperMicros(i int) uint64 {
+	if i >= NumBuckets-1 {
+		return math.MaxUint64
+	}
+	return 1 << uint(i)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64             `json:"count"`
+	SumNS   int64              `json:"sumNs"`
+	Buckets [NumBuckets]uint64 `json:"buckets"`
+}
+
+// Snapshot copies the histogram's counters.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.SumNS = h.sumNS.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the average observed duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / int64(s.Count))
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0<q<=1)
+// as the upper edge of the bucket containing it. The overflow bucket
+// reports the largest finite edge.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= target {
+			if i >= NumBuckets-1 {
+				break
+			}
+			return time.Duration(BucketUpperMicros(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(BucketUpperMicros(NumBuckets-2)) * time.Microsecond
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders a Snapshot in the Prometheus text
+// exposition format. Each histogram becomes
+// <prefix>_<name>_duration_seconds with cumulative le buckets; the
+// trace counters become <prefix>_*_total gauges/counters. prefix is
+// typically "hipac".
+func WritePrometheus(w io.Writer, s Snapshot, prefix string) error {
+	for _, name := range histNames {
+		h, ok := s.Hist[name]
+		if !ok {
+			continue
+		}
+		metric := fmt.Sprintf("%s_%s_duration_seconds", prefix, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", metric); err != nil {
+			return err
+		}
+		var cum uint64
+		for i := 0; i < NumBuckets; i++ {
+			cum += h.Buckets[i]
+			le := "+Inf"
+			if i < NumBuckets-1 {
+				le = strconv.FormatFloat(float64(BucketUpperMicros(i))/1e6, 'g', -1, 64)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", metric, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", metric,
+			strconv.FormatFloat(float64(h.SumNS)/1e9, 'g', -1, 64), metric, h.Count); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w,
+		"# TYPE %[1]s_slow_firings_total counter\n%[1]s_slow_firings_total %[2]d\n"+
+			"# TYPE %[1]s_traces_recorded_total counter\n%[1]s_traces_recorded_total %[3]d\n"+
+			"# TYPE %[1]s_traces_dropped_total counter\n%[1]s_traces_dropped_total %[4]d\n",
+		prefix, s.SlowFirings, s.TraceRecorded, s.TraceDropped)
+	return err
+}

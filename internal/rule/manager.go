@@ -10,6 +10,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/lock"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/txn"
 )
@@ -37,15 +38,6 @@ type Stats struct {
 	AsyncErrors         uint64
 }
 
-// Trace is a structured record of a rule-processing step, for the
-// paper's §6 protocol tests and for the CLI's firing tracer.
-type Trace struct {
-	Kind   string // "signal", "cond", "action", "deferred-queue", "deferred-drain", "separate"
-	Rule   string
-	Txn    lock.TxnID // transaction performing the step
-	Parent lock.TxnID // its parent (0 for top-level)
-}
-
 // Manager is the Rule Manager. It maps events to rules and schedules
 // condition evaluation and action execution per the coupling modes.
 type Manager struct {
@@ -53,6 +45,8 @@ type Manager struct {
 	objects *object.Manager
 	eval    *cond.Evaluator
 	det     *event.Detectors // set via SetDetectors after construction
+	met     *obs.Metrics     // nil-safe latency observer
+	tr      *obs.Tracer      // nil-safe firing-tree tracer
 
 	mu       sync.RWMutex
 	rules    map[datum.OID]*Rule
@@ -61,7 +55,6 @@ type Manager struct {
 	specSubs map[string]event.SubID // canonical spec -> shared subscription
 	calls    map[string]CallFunc
 	app      AppDispatcher
-	trace    func(Trace)
 	onErr    func(rule string, err error)
 	stats    Stats
 
@@ -92,9 +85,13 @@ func (m *Manager) SetDetectors(d *event.Detectors) { m.det = d }
 // safe to call concurrently with rule processing.
 func (m *Manager) SetAppDispatcher(a AppDispatcher) { m.app = a }
 
-// SetTrace installs a trace hook. Not safe to call concurrently with
-// rule processing.
-func (m *Manager) SetTrace(f func(Trace)) { m.trace = f }
+// SetObs wires the observability subsystem: firing steps become spans
+// of the tracer's firing trees, and action executions feed the latency
+// histograms. Not safe to call concurrently with rule processing.
+func (m *Manager) SetObs(o *obs.Obs) {
+	m.met = o.Metrics()
+	m.tr = o.Tracer()
+}
 
 // SetErrorHandler installs a handler for errors in separate (asynchronous)
 // firings. Not safe to call concurrently with rule processing.
@@ -120,18 +117,16 @@ func (m *Manager) bump(f func(*Stats)) {
 	m.mu.Unlock()
 }
 
-func (m *Manager) emitTrace(kind, rule string, t *txn.Txn) {
-	if m.trace == nil {
-		return
-	}
-	tr := Trace{Kind: kind, Rule: rule}
-	if t != nil {
-		tr.Txn = t.ID()
-		if p := t.Parent(); p != nil {
-			tr.Parent = p.ID()
+// traceAnchor finds the span a signal raised inside t should hang
+// from: the innermost open firing span bound to t or one of its
+// ancestors (a cascade), or nil for a fresh firing tree.
+func (m *Manager) traceAnchor(t *txn.Txn) *obs.Span {
+	for ; t != nil; t = t.Parent() {
+		if sp := m.tr.Bound(uint64(t.ID())); sp != nil {
+			return sp
 		}
 	}
-	m.trace(tr)
+	return nil
 }
 
 func (m *Manager) reportAsync(rule string, err error) {
@@ -523,9 +518,23 @@ func (m *Manager) HandleEmit(sub event.SubID, sig event.Signal) error {
 		}
 	}
 
+	// The signal span: the root of a fresh firing tree, or — when the
+	// signal was raised inside an open firing span's transaction tree
+	// (a cascade) — a child attached under that span.
+	var sp *obs.Span
+	if m.tr.On() {
+		name := sig.Spec.String()
+		if anchor := m.traceAnchor(trigger); haveTxn && anchor != nil {
+			sp = anchor.StartChild("signal", name, "", uint64(sig.Txn), 0)
+		} else {
+			sp = m.tr.StartRoot("signal", name, "", uint64(sig.Txn), 0)
+		}
+	}
+
 	// Separate firings never wait (§6.2 "Meanwhile, the Rule Manager
 	// continues").
 	for _, r := range separate {
+		sp.Mark("separate-spawn", r.Name, "separate", "", 0, 0)
 		m.spawnSeparate(r, sig)
 	}
 
@@ -541,10 +550,11 @@ func (m *Manager) HandleEmit(sub event.SubID, sig event.Signal) error {
 			set.add(deferredEntry{sig: sig, rules: deferred})
 			m.bump(func(s *Stats) { s.DeferredFirings += uint64(len(deferred)) })
 			for _, r := range deferred {
-				m.emitTrace("deferred-queue", r.Name, trigger)
+				sp.Mark("deferred-queue", r.Name, "deferred", "", 0, 0)
 			}
 		} else {
 			for _, r := range deferred {
+				sp.Mark("separate-spawn", r.Name, "separate", "", 0, 0)
 				m.spawnSeparate(r, sig)
 			}
 		}
@@ -555,12 +565,19 @@ func (m *Manager) HandleEmit(sub event.SubID, sig event.Signal) error {
 	if len(immediate) > 0 {
 		if haveTxn {
 			m.bump(func(s *Stats) { s.ImmediateFirings += uint64(len(immediate)) })
-			return m.fireGroup(trigger, immediate, sig)
+			if err := m.fireGroup(trigger, immediate, sig, sp, "immediate"); err != nil {
+				sp.End("aborted")
+				return err
+			}
+			sp.End("ok")
+			return nil
 		}
 		for _, r := range immediate {
+			sp.Mark("separate-spawn", r.Name, "separate", "", 0, 0)
 			m.spawnSeparate(r, sig)
 		}
 	}
+	sp.End("ok")
 	return nil
 }
 
@@ -571,19 +588,20 @@ func (m *Manager) HandleEmit(sub event.SubID, sig event.Signal) error {
 // locking. The satisfied rules' actions then execute concurrently as
 // sibling subtransactions of parent (§3.2: no conflict resolution —
 // serializability is the correctness criterion).
-func (m *Manager) fireGroup(parent *txn.Txn, rules []*Rule, sig event.Signal) error {
+func (m *Manager) fireGroup(parent *txn.Txn, rules []*Rule, sig event.Signal, sp *obs.Span, mode string) error {
 	gc, err := parent.Child()
 	if err != nil {
 		return fmt.Errorf("rule: condition transaction: %w", err)
 	}
 	gc.Internal = true
-	m.emitTrace("cond", groupName(rules), gc)
+	csp := sp.StartChild("cond", groupName(rules), mode, uint64(gc.ID()), uint64(parent.ID()))
 
 	ids := make([]uint64, 0, len(rules))
 	for _, r := range rules {
 		// Firing takes a read lock on the rule object (§2.2).
 		if err := gc.Lock(ruleItem(r.OID), lock.Shared); err != nil {
 			gc.Abort()
+			csp.End("aborted")
 			return err
 		}
 		ids = append(ids, uint64(r.OID))
@@ -591,9 +609,11 @@ func (m *Manager) fireGroup(parent *txn.Txn, rules []*Rule, sig event.Signal) er
 	outcomes, err := m.eval.Evaluate(m.objects.Reader(gc), sig.Bindings, false, ids)
 	if err != nil {
 		gc.Abort()
+		csp.End("aborted")
 		return err
 	}
 	if err := gc.Commit(); err != nil {
+		csp.End("aborted")
 		return err
 	}
 
@@ -601,6 +621,7 @@ func (m *Manager) fireGroup(parent *txn.Txn, rules []*Rule, sig event.Signal) er
 	for _, r := range rules {
 		oc := outcomes[uint64(r.OID)]
 		if oc == nil || !oc.Satisfied {
+			csp.Mark("rule", r.Name, r.CA.String(), "not-satisfied", 0, 0)
 			continue
 		}
 		m.bump(func(s *Stats) { s.ConditionsSatisfied++ })
@@ -610,19 +631,21 @@ func (m *Manager) fireGroup(parent *txn.Txn, rules []*Rule, sig event.Signal) er
 		case Deferred:
 			wave2 = append(wave2, firing{r, sig})
 		case Separate:
+			csp.Mark("separate-spawn", r.Name, "separate", "", 0, 0)
 			m.spawnAction(r, sig, oc)
 		}
 	}
-	if err := m.runWave(parent, wave1, outcomes); err != nil {
+	csp.End("ok")
+	if err := m.runWave(parent, wave1, outcomes, sp); err != nil {
 		return err
 	}
-	return m.runWave(parent, wave2, outcomes)
+	return m.runWave(parent, wave2, outcomes, sp)
 }
 
 // runWave executes the actions of a wave concurrently as sibling
 // subtransactions of parent, waiting for all and returning the first
 // error (whose firing subtransaction is aborted).
-func (m *Manager) runWave(parent *txn.Txn, wave []firing, outcomes map[uint64]*cond.Outcome) error {
+func (m *Manager) runWave(parent *txn.Txn, wave []firing, outcomes map[uint64]*cond.Outcome, sp *obs.Span) error {
 	if len(wave) == 0 {
 		return nil
 	}
@@ -635,20 +658,24 @@ func (m *Manager) runWave(parent *txn.Txn, wave []firing, outcomes map[uint64]*c
 			break
 		}
 		ac.Internal = true
-		m.emitTrace("action", f.rule.Name, ac)
+		asp := sp.StartChild("action", f.rule.Name, f.rule.CA.String(), uint64(ac.ID()), uint64(parent.ID()))
 		wg.Add(1)
-		go func(i int, f firing, ac *txn.Txn) {
+		go func(i int, f firing, ac *txn.Txn, asp *obs.Span) {
 			defer wg.Done()
 			oc := outcomes[uint64(f.rule.OID)]
 			if err := m.execAction(ac, f.rule, f.sig, oc.Primary); err != nil {
 				ac.Abort()
+				asp.End("aborted")
 				errs[i] = fmt.Errorf("rule %q action: %w", f.rule.Name, err)
 				return
 			}
 			if err := ac.Commit(); err != nil {
+				asp.End("aborted")
 				errs[i] = fmt.Errorf("rule %q action commit: %w", f.rule.Name, err)
+				return
 			}
-		}(i, f, ac)
+			asp.End("fired")
+		}(i, f, ac, asp)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -668,21 +695,24 @@ func (m *Manager) spawnSeparate(r *Rule, sig event.Signal) {
 		defer m.sep.Done()
 		t := m.txns.Begin()
 		t.Internal = true
-		m.emitTrace("separate", r.Name, t)
+		sp := m.tr.StartRoot("separate", r.Name, r.EC.String()+"/"+r.CA.String(), uint64(t.ID()), 0)
 		if err := t.Lock(ruleItem(r.OID), lock.Shared); err != nil {
 			t.Abort()
+			sp.End("aborted")
 			m.reportAsync(r.Name, err)
 			return
 		}
 		outcomes, err := m.eval.Evaluate(m.objects.Reader(t), sig.Bindings, true, []uint64{uint64(r.OID)})
 		if err != nil {
 			t.Abort()
+			sp.End("aborted")
 			m.reportAsync(r.Name, err)
 			return
 		}
 		oc := outcomes[uint64(r.OID)]
 		if oc == nil || !oc.Satisfied {
 			t.Commit()
+			sp.End("not-satisfied")
 			return
 		}
 		m.bump(func(s *Stats) { s.ConditionsSatisfied++ })
@@ -692,17 +722,24 @@ func (m *Manager) spawnSeparate(r *Rule, sig event.Signal) {
 			// transaction (the paper's SAA rules use exactly this).
 			if err := m.execAction(t, r, sig, oc.Primary); err != nil {
 				t.Abort()
+				sp.End("aborted")
 				m.reportAsync(r.Name, err)
 				return
 			}
 			if err := t.Commit(); err != nil {
+				sp.End("aborted")
 				m.reportAsync(r.Name, err)
+				return
 			}
+			sp.End("fired")
 		case Separate:
 			if err := t.Commit(); err != nil {
+				sp.End("aborted")
 				m.reportAsync(r.Name, err)
 				return
 			}
+			sp.Mark("separate-spawn", r.Name, "separate", "", 0, 0)
+			sp.End("ok")
 			m.spawnAction(r, sig, oc)
 		}
 	}()
@@ -716,15 +753,19 @@ func (m *Manager) spawnAction(r *Rule, sig event.Signal, oc *cond.Outcome) {
 		defer m.sep.Done()
 		t := m.txns.Begin()
 		t.Internal = true
-		m.emitTrace("action", r.Name, t)
+		sp := m.tr.StartRoot("action", r.Name, "separate", uint64(t.ID()), 0)
 		if err := m.execAction(t, r, sig, oc.Primary); err != nil {
 			t.Abort()
+			sp.End("aborted")
 			m.reportAsync(r.Name, err)
 			return
 		}
 		if err := t.Commit(); err != nil {
+			sp.End("aborted")
 			m.reportAsync(r.Name, err)
+			return
 		}
+		sp.End("fired")
 	}()
 }
 
@@ -755,16 +796,31 @@ func (m *Manager) ProcessCommit(t *txn.Txn) error {
 	if set == nil {
 		return nil
 	}
+	// dsp groups the whole drain. Started lazily on the first
+	// non-empty batch: child of an enclosing firing span when the
+	// committing transaction sits inside one, a fresh root otherwise.
+	var dsp *obs.Span
+	var dspStarted bool
 	for {
 		entries := set.drain()
 		if len(entries) == 0 {
+			dsp.End("ok")
 			return nil
+		}
+		if !dspStarted && m.tr.On() {
+			dspStarted = true
+			if anchor := m.traceAnchor(t); anchor != nil {
+				dsp = anchor.StartChild("commit", "deferred", "deferred", uint64(t.ID()), 0)
+			} else {
+				dsp = m.tr.StartRoot("commit", "deferred", "deferred", uint64(t.ID()), 0)
+			}
 		}
 		for _, e := range entries {
 			for _, r := range e.rules {
-				m.emitTrace("deferred-drain", r.Name, t)
+				dsp.Mark("deferred-drain", r.Name, "deferred", "", 0, 0)
 			}
-			if err := m.fireGroup(t, e.rules, e.sig); err != nil {
+			if err := m.fireGroup(t, e.rules, e.sig, dsp, "deferred"); err != nil {
+				dsp.End("aborted")
 				return err
 			}
 		}
@@ -809,7 +865,20 @@ func (m *Manager) Fire(tx *txn.Txn, name string, args map[string]datum.Value) er
 	}
 	if tx != nil {
 		sig.Txn = tx.ID()
-		return m.fireGroup(tx, []*Rule{r}, sig)
+		var sp *obs.Span
+		if m.tr.On() {
+			if anchor := m.traceAnchor(tx); anchor != nil {
+				sp = anchor.StartChild("fire", r.Name, "", uint64(tx.ID()), 0)
+			} else {
+				sp = m.tr.StartRoot("fire", r.Name, "", uint64(tx.ID()), 0)
+			}
+		}
+		if err := m.fireGroup(tx, []*Rule{r}, sig, sp, "fire"); err != nil {
+			sp.End("aborted")
+			return err
+		}
+		sp.End("ok")
+		return nil
 	}
 	m.spawnSeparate(r, sig)
 	return nil
@@ -821,6 +890,8 @@ func (m *Manager) Fire(tx *txn.Txn, name string, args map[string]datum.Value) er
 // condition's primary result, or once with the event bindings alone
 // when the condition was empty.
 func (m *Manager) execAction(tx *txn.Txn, r *Rule, sig event.Signal, primary *query.Result) error {
+	tm := m.met.Timer(obs.HActionExec)
+	defer tm.Done()
 	m.bump(func(s *Stats) { s.ActionsExecuted++ })
 	rows := 1
 	if primary != nil {

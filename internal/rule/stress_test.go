@@ -1,0 +1,135 @@
+package rule_test
+
+// Race stress for the observability subsystem: external events are
+// signalled while EC "separate" rules fire in their own top-level
+// transactions, all with tracing and histograms on. After Quiesce the
+// counters, histograms, and trace ring must agree with each other.
+// Run with -race (the CI workflow does).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/obs"
+	"repro/internal/rule"
+	"repro/internal/workload"
+)
+
+func TestSeparateFiringObsConsistency(t *testing.T) {
+	e, _ := workload.MustEngine()
+	defer e.Close()
+	if err := workload.DefineBase(e); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers  = 4
+		updates  = 8 // per writer
+		signlers = 4
+		ticks    = 8 // per signaller
+		sepRules = 2
+	)
+	oids, err := workload.SeedStocks(e, writers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sepRules; i++ {
+		name := fmt.Sprintf("sep-audit-%d", i)
+		if _, err := e.CreateRule(workload.AuditRuleDef(name, "separate", "immediate")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.DefineEvent("Tick", "n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateRule(rule.Def{
+		Name:  "sep-tick",
+		Event: "external(Tick)",
+		Action: []rule.Step{{
+			Kind: rule.StepCreate, Class: "Audit",
+			Attrs: map[string]string{"note": "'tick'", "price": "event.n * 1.0"},
+		}},
+		EC: "separate", CA: "immediate",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+signlers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(oid int) {
+			defer wg.Done()
+			for i := 0; i < updates; i++ {
+				if err := workload.UpdateOne(e, oids[oid], float64(i)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for s := 0; s < signlers; s++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < ticks; i++ {
+				if err := e.SignalEvent(nil, "Tick", map[string]datum.Value{
+					"n": datum.Int(int64(base*ticks + i)),
+				}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	e.Quiesce()
+	if errs := e.AsyncErrors(); len(errs) != 0 {
+		t.Fatalf("async errors from separate firings: %v", errs)
+	}
+
+	wantSep := uint64(writers*updates*sepRules + signlers*ticks)
+	stats := e.Stats()
+	if stats.Rules.SeparateFirings != wantSep {
+		t.Fatalf("SeparateFirings = %d, want %d", stats.Rules.SeparateFirings, wantSep)
+	}
+	if stats.Rules.ActionsExecuted != wantSep {
+		t.Fatalf("ActionsExecuted = %d, want %d (one action per separate firing)", stats.Rules.ActionsExecuted, wantSep)
+	}
+
+	snap := e.Obs.Snapshot()
+	if got := snap.Hist["action_exec"].Count; got != stats.Rules.ActionsExecuted {
+		t.Fatalf("action_exec histogram count %d != ActionsExecuted %d", got, stats.Rules.ActionsExecuted)
+	}
+	if got := snap.Hist["op"].Count; got < uint64(writers*updates) {
+		t.Fatalf("op histogram count %d < %d updates", got, writers*updates)
+	}
+	// Every separate firing is a root span; every signal handled inside
+	// or outside a transaction is another root. The ring holds exactly
+	// the recorded-minus-dropped newest trees.
+	if snap.TraceRecorded < wantSep {
+		t.Fatalf("TraceRecorded = %d, want >= %d separate roots", snap.TraceRecorded, wantSep)
+	}
+	trees := e.Obs.Tracer().Last(0)
+	if got, want := uint64(len(trees)), snap.TraceRecorded-snap.TraceDropped; got != want {
+		t.Fatalf("ring holds %d trees, recorded-dropped = %d", got, want)
+	}
+	for _, tree := range trees {
+		tree.Walk(func(n *obs.SpanSnapshot, _ int) {
+			if n.Kind == "" {
+				t.Errorf("span with empty kind in tree rooted at %s %s", tree.Kind, tree.Name)
+			}
+			if n.DurNS < 0 {
+				t.Errorf("span %s %s has negative duration %d", n.Kind, n.Name, n.DurNS)
+			}
+		})
+		if tree.Outcome == "" {
+			t.Errorf("root span %s %s never ended", tree.Kind, tree.Name)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/datum"
 	"repro/internal/ipc"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/rule"
 	"repro/internal/txn"
 )
@@ -337,6 +338,8 @@ func (s *session) removeTxn(id uint64) {
 // handle dispatches one request.
 func (s *session) handle(req *ipc.Message) {
 	eng := s.srv.eng
+	tm := eng.Obs.Metrics().Timer(obs.HIPCRequest)
+	defer tm.Done()
 	switch req.Op {
 	case ipc.OpBegin:
 		t := eng.Begin()
@@ -576,7 +579,20 @@ func (s *session) handle(req *ipc.Message) {
 		s.reply(req, nil, nil)
 
 	case ipc.OpStats:
-		s.reply(req, eng.Stats(), nil)
+		engRaw, err := ipc.EncodeBody(eng.Stats())
+		if err != nil {
+			s.reply(req, nil, err)
+			return
+		}
+		s.reply(req, ipc.StatsRep{Engine: engRaw, Obs: eng.Obs.Snapshot()}, nil)
+
+	case ipc.OpTrace:
+		var body ipc.TraceReq
+		if err := ipc.DecodeBody(req, &body); err != nil {
+			s.reply(req, nil, err)
+			return
+		}
+		s.reply(req, ipc.TraceRep{Traces: eng.Obs.Tracer().Last(body.Last)}, nil)
 
 	case ipc.OpGraph:
 		var rep ipc.GraphRep

@@ -29,6 +29,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/datum"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -72,6 +73,8 @@ type Options struct {
 	Dir string
 	// NoSync disables fsync on the WAL.
 	NoSync bool
+	// Obs, when non-nil, receives WAL fsync latencies.
+	Obs *obs.Metrics
 }
 
 // Store is the versioned heap.
@@ -125,7 +128,7 @@ func Open(topo Topology, opts Options) (*Store, error) {
 	if err := s.loadSnapshot(filepath.Join(opts.Dir, "snapshot")); err != nil {
 		return nil, err
 	}
-	l, err := wal.Open(filepath.Join(opts.Dir, "wal"), wal.Options{NoSync: opts.NoSync})
+	l, err := wal.Open(filepath.Join(opts.Dir, "wal"), wal.Options{NoSync: opts.NoSync, Obs: opts.Obs})
 	if err != nil {
 		return nil, err
 	}

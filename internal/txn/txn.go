@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"repro/internal/lock"
+	"repro/internal/obs"
 )
 
 // State is a transaction's lifecycle state.
@@ -102,7 +103,12 @@ type Manager struct {
 	hooks    []Hook
 	listen   []Listener
 	liveTxns int
+	obsm     *obs.Metrics // nil-safe commit-latency observer
 }
+
+// SetObserver installs a commit-latency observer. Not safe to call
+// concurrently with transaction processing.
+func (m *Manager) SetObserver(o *obs.Metrics) { m.obsm = o }
 
 // NewManager returns a transaction manager. The lock manager is
 // created by the caller against the returned manager's topology; use
@@ -311,6 +317,13 @@ func (t *Txn) Commit() error {
 	}
 	t.state = Committing
 	m.mu.Unlock()
+
+	// Time user-visible top-level commits: hooks (deferred firings),
+	// participant flush, WAL sync, lock release.
+	if t.parent == nil && !t.Internal {
+		tm := m.obsm.Timer(obs.HTxnCommit)
+		defer tm.Done()
+	}
 
 	// §6.3: the Transaction Manager signals the commit event; the
 	// Rule Manager processes deferred firings and replies; only then

@@ -20,6 +20,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // LSN is a log sequence number: the byte offset of a record's frame in
@@ -37,7 +39,8 @@ type Log struct {
 	path   string
 	end    LSN // offset at which the next record will be written
 	closed bool
-	sync   bool // fsync on Sync() when true
+	sync   bool         // fsync on Sync() when true
+	obsm   *obs.Metrics // nil-safe fsync latency observer
 }
 
 // Options configures a Log.
@@ -46,6 +49,8 @@ type Options struct {
 	// benchmarks and tests where durability across OS crashes is not
 	// required.
 	NoSync bool
+	// Obs, when non-nil, receives fsync latencies.
+	Obs *obs.Metrics
 }
 
 // Open opens (creating if necessary) the log at path, scans it for the
@@ -56,7 +61,7 @@ func Open(path string, opts Options) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	l := &Log{f: f, path: path, sync: !opts.NoSync}
+	l := &Log{f: f, path: path, sync: !opts.NoSync, obsm: opts.Obs}
 	end, err := l.scanEnd()
 	if err != nil {
 		f.Close()
@@ -135,9 +140,11 @@ func (l *Log) Sync() error {
 	if !l.sync {
 		return nil
 	}
+	tm := l.obsm.Timer(obs.HWALSync)
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	tm.Done()
 	return nil
 }
 
