@@ -565,6 +565,45 @@ func BenchmarkObsOverhead(b *testing.B) {
 	b.Run("disabled", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkParallelCommit measures durable-commit throughput with
+// concurrent top-level committers (run with -cpu 1,2,4,8 to sweep).
+// Each goroutine owns a distinct object, so committers contend only
+// on the store and the log — the paths group commit is meant to
+// scale. Compare wal-fsync across -cpu values: with group commit,
+// ns/op should drop as committers share flushes.
+func BenchmarkParallelCommit(b *testing.B) {
+	run := func(b *testing.B, dir string, noSync bool) {
+		e, err := core.Open(core.Options{Dir: dir, NoSync: noSync,
+			Clock: hipac.NewVirtualClock(workload.Epoch)})
+		mustB(b, err)
+		b.Cleanup(func() { e.Close() })
+		mustB(b, workload.DefineBase(e))
+		oids, err := workload.SeedStocks(e, 128)
+		mustB(b, err)
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			oid := oids[int(next.Add(1)-1)%len(oids)]
+			i := 0
+			for pb.Next() {
+				tx := e.Begin()
+				mustB(b, e.Modify(tx, oid, map[string]datum.Value{
+					"price": datum.Float(float64(i))}))
+				mustB(b, tx.Commit())
+				i++
+			}
+		})
+		b.StopTimer()
+		st := e.Store.Stats()
+		if st.TopCommits > 0 {
+			b.ReportMetric(float64(st.WALFsyncs)/float64(st.TopCommits), "fsyncs/commit")
+		}
+	}
+	b.Run("memory", func(b *testing.B) { run(b, "", true) })
+	b.Run("wal-nosync", func(b *testing.B) { run(b, b.TempDir(), true) })
+	b.Run("wal-fsync", func(b *testing.B) { run(b, b.TempDir(), false) })
+}
+
 // BenchmarkWALDurability ablates the write-ahead log: committed
 // update cost in-memory, with a WAL (no fsync), and with fsync.
 func BenchmarkWALDurability(b *testing.B) {

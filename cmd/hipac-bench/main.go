@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hipac-bench [-run all|F41|F42|C1|...|C12] [-quick]
+//	hipac-bench [-run all|F41|F42|C1|...|C13] [-quick]
 package main
 
 import (
@@ -14,13 +14,16 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/datum"
 	"repro/internal/feed"
+	"repro/internal/obs"
 	"repro/internal/rule"
 	"repro/internal/saa"
 	"repro/internal/server"
@@ -29,7 +32,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment id (F41, F42, C1..C12) or all")
+	run := flag.String("run", "all", "experiment id (F41, F42, C1..C13) or all")
 	quick := flag.Bool("quick", false, "smaller iteration counts")
 	flag.Parse()
 
@@ -74,6 +77,7 @@ var titles = map[string]string{
 	"C10": "disabled-rule cost at signal time",
 	"C11": "temporal scheduling cost",
 	"C12": "external signal round trip (in-process vs IPC)",
+	"C13": "parallel commit throughput under WAL group commit",
 }
 
 var experiments = map[string]func(quick bool) error{
@@ -81,6 +85,7 @@ var experiments = map[string]func(quick bool) error{
 	"C1": expC1, "C2": expC2, "C3": expC3, "C4": expC4,
 	"C5": expC5, "C6": expC6, "C7": expC7, "C8": expC8,
 	"C9": expC9, "C10": expC10, "C11": expC11, "C12": expC12,
+	"C13": expC13,
 }
 
 // measure warms the path up, then runs fn iters times and returns
@@ -120,6 +125,25 @@ func row(cols ...any) {
 		parts[i] = fmt.Sprint(c)
 	}
 	fmt.Printf("  %-28s %s\n", parts[0], strings.Join(parts[1:], "  "))
+}
+
+// tailRow prints p50/p99 rows for the named histograms from the
+// engine's observability snapshot, so the experiment tables copied
+// into EXPERIMENTS.md report tail latency alongside per-op means.
+func tailRow(e *core.Engine, names ...string) {
+	snap := e.Obs.Snapshot()
+	for _, name := range names {
+		h, ok := snap.Hist[name]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		if obs.HistIsCount(name) {
+			row(name+" mean/p50/p99", fmt.Sprintf("%.1f", h.MeanCount()),
+				h.QuantileCount(0.5), h.QuantileCount(0.99))
+			continue
+		}
+		row(name+" p50/p99", h.Quantile(0.5), h.Quantile(0.99))
+	}
 }
 
 // warmProcess exercises an engine once so the first measured
@@ -274,6 +298,7 @@ func expF42(quick bool) error {
 	row("display requests", displayed.Load())
 	row("per quote", per)
 	row("quotes/sec", int(float64(time.Second)/float64(per)))
+	tailRow(e, "txn_commit", "op")
 	return nil
 }
 
@@ -568,6 +593,7 @@ func expC7(quick bool) error {
 			return err
 		}
 		row(fmt.Sprint(d), per)
+		tailRow(e, "txn_commit")
 		e.Close()
 	}
 	return nil
@@ -788,5 +814,83 @@ func expC12(quick bool) error {
 	}
 	ctx.Commit()
 	row("over IPC (TCP loopback)", ipcPer)
+	return nil
+}
+
+// --- C13 ---
+
+// expC13 measures durable (fsync) commit throughput as committer
+// concurrency grows. With group commit, concurrent committers share
+// WAL flushes, so fsyncs/commit drops below 1.0 and per-commit cost
+// falls even though every commit is individually durable.
+func expC13(quick bool) error {
+	row("committers", "per commit", "commits/sec", "fsyncs/commit")
+	n := iters(quick, 2000)
+	for _, g := range []int{1, 2, 4, 8, 16} {
+		dir, err := os.MkdirTemp("", "hipac-bench-c13-")
+		if err != nil {
+			return err
+		}
+		e, err := core.Open(core.Options{Dir: dir, Clock: clock.NewVirtual(workload.Epoch)})
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		runOne := func() error {
+			if err := workload.DefineBase(e); err != nil {
+				return err
+			}
+			oids, err := workload.SeedStocks(e, g)
+			if err != nil {
+				return err
+			}
+			// Warm the commit path before counting.
+			for i := 0; i < 20; i++ {
+				if err := workload.UpdateOne(e, oids[0], float64(i)); err != nil {
+					return err
+				}
+			}
+			base := e.Stats().Store
+			perG := n / g
+			if perG == 0 {
+				perG = 1
+			}
+			errs := make(chan error, g)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func(oid datum.OID) {
+					defer wg.Done()
+					for k := 0; k < perG; k++ {
+						if err := workload.UpdateOne(e, oid, float64(k)); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(oids[w])
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			close(errs)
+			for err := range errs {
+				return err
+			}
+			st := e.Stats().Store
+			commits := st.TopCommits - base.TopCommits
+			fsyncs := st.WALFsyncs - base.WALFsyncs
+			row(fmt.Sprint(g), elapsed/time.Duration(commits),
+				int(float64(commits)/elapsed.Seconds()),
+				fmt.Sprintf("%.3f", float64(fsyncs)/float64(commits)))
+			tailRow(e, "commit_stall", "wal_sync", "wal_group_size")
+			return nil
+		}
+		err = runOne()
+		e.Close()
+		os.RemoveAll(dir)
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -419,6 +419,12 @@ func printObs(w io.Writer, s obs.Snapshot) {
 			fmt.Fprintf(w, "%-14s %10d %12s %12s %12s\n", name, 0, "-", "-", "-")
 			continue
 		}
+		if obs.HistIsCount(name) {
+			// Count histogram (group-commit batch sizes): plain numbers.
+			fmt.Fprintf(w, "%-14s %10d %12.1f %12d %12d\n",
+				name, h.Count, h.MeanCount(), h.QuantileCount(0.5), h.QuantileCount(0.99))
+			continue
+		}
 		fmt.Fprintf(w, "%-14s %10d %12v %12v %12v\n",
 			name, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
 	}

@@ -22,6 +22,8 @@ func (e *Engine) WritePrometheus(w io.Writer) error {
 		{"hipac_store_index_probes_total", s.Store.IndexProbes},
 		{"hipac_store_top_commits_total", s.Store.TopCommits},
 		{"hipac_store_wal_bytes_total", s.Store.WALBytes},
+		{"hipac_store_wal_fsyncs_total", s.Store.WALFsyncs},
+		{"hipac_store_wal_sync_requests_total", s.Store.WALSyncRequests},
 		{"hipac_locks_acquired_total", s.Locks.Acquired},
 		{"hipac_locks_waited_total", s.Locks.Waited},
 		{"hipac_locks_deadlocks_total", s.Locks.Deadlocks},

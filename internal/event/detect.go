@@ -332,22 +332,40 @@ func (d *Detectors) armFromBaseline(p *sub) {
 // and the Transaction Manager (commit/abort), and runs rule
 // processing synchronously before returning.
 func (d *Detectors) SignalDatabase(op Op, class string, tx lock.TxnID, bindings map[string]datum.Value) error {
-	now := d.clk.Now()
-	var emits []emission
-	d.mu.Lock()
-	d.stats.DatabaseSignals++
+	// A signal matches subscriptions on (op, class), (op, any class),
+	// (any op, class), and (any op, any class); drop the duplicate
+	// keys that arise when op or class is already the wildcard.
 	keys := [4]dbKey{
 		{op: op, class: class},
 		{op: op, class: ""},
 		{op: OpAny, class: class},
 		{op: OpAny, class: ""},
 	}
-	seenKey := map[dbKey]bool{}
-	for _, k := range keys {
-		if seenKey[k] {
-			continue
-		}
-		seenKey[k] = true
+	n := 4
+	if op == OpAny {
+		keys[1] = keys[3] // rows 2,3 duplicate rows 0,1
+		n = 2
+	}
+	if class == "" {
+		keys[1] = keys[2] // columns collapse pairwise
+		n /= 2
+	}
+	d.mu.Lock()
+	d.stats.DatabaseSignals++
+	matched := 0
+	for _, k := range keys[:n] {
+		matched += len(d.dbIndex[k])
+	}
+	if matched == 0 {
+		// Fast path: every DML operation signals here, but most ops
+		// have no subscribed rule. Skip the timestamp and emission
+		// machinery entirely.
+		d.mu.Unlock()
+		return nil
+	}
+	now := d.clk.Now()
+	var emits []emission
+	for _, k := range keys[:n] {
 		for _, s := range d.dbIndex[k] {
 			sig := Signal{Spec: s.spec, Time: now, Txn: tx, Bindings: bindings}
 			d.deliverLocked(s, sig, &emits)

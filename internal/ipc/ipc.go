@@ -9,10 +9,12 @@
 package ipc
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/datum"
 	"repro/internal/object"
@@ -46,21 +48,41 @@ type Message struct {
 	Body json.RawMessage `json:"body,omitempty"`
 }
 
-// Write frames and writes one message.
+// framePool recycles encode buffers across Write calls. Buffers that
+// grew past maxPooledFrame are dropped rather than pooled so one huge
+// message does not pin its allocation forever.
+var framePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledFrame = 64 << 10
+
+// Write frames and writes one message. The header and payload are
+// marshalled into one reused buffer and written with a single Write
+// call, so a framed message costs one syscall (and, on a shared
+// connection, cannot interleave its header with another writer's
+// payload if a caller ever skips the connection mutex).
 func Write(w io.Writer, m *Message) error {
-	payload, err := json.Marshal(m)
-	if err != nil {
+	buf := framePool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= maxPooledFrame {
+			framePool.Put(buf)
+		}
+	}()
+	buf.Reset()
+	var hdr [4]byte
+	buf.Write(hdr[:]) // length placeholder, patched below
+	if err := json.NewEncoder(buf).Encode(m); err != nil {
 		return fmt.Errorf("ipc: marshal: %w", err)
 	}
-	if len(payload) > MaxFrame {
-		return fmt.Errorf("ipc: frame too large (%d bytes)", len(payload))
+	frame := buf.Bytes()
+	if n := len(frame); n > 0 && frame[n-1] == '\n' {
+		frame = frame[:n-1] // Encoder's newline is not part of the wire format
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	payload := len(frame) - 4
+	if payload > MaxFrame {
+		return fmt.Errorf("ipc: frame too large (%d bytes)", payload)
 	}
-	_, err = w.Write(payload)
+	binary.BigEndian.PutUint32(frame[:4], uint32(payload))
+	_, err := w.Write(frame)
 	return err
 }
 

@@ -79,6 +79,21 @@ func (s HistogramSnapshot) Mean() time.Duration {
 	return time.Duration(s.SumNS / int64(s.Count))
 }
 
+// MeanCount returns the average observation of a count histogram
+// (ObserveN units; 0 when empty).
+func (s HistogramSnapshot) MeanCount() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNS) / float64(time.Microsecond) / float64(s.Count)
+}
+
+// QuantileCount returns the q-quantile upper bound of a count
+// histogram in ObserveN units.
+func (s HistogramSnapshot) QuantileCount(q float64) uint64 {
+	return uint64(s.Quantile(q) / time.Microsecond)
+}
+
 // Quantile returns an upper-bound estimate of the q-quantile (0<q<=1)
 // as the upper edge of the bucket containing it. The overflow bucket
 // reports the largest finite edge.

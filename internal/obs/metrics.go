@@ -23,6 +23,16 @@ func (m *Metrics) Observe(id HistID, d time.Duration) {
 	}
 }
 
+// ObserveN records one count observation (e.g. a group-commit batch
+// size) into a count histogram (see HistIsCount). Counts share the
+// power-of-two bucket layout: one count unit maps to one microsecond
+// internally; read them back with MeanCount/QuantileCount.
+func (m *Metrics) ObserveN(id HistID, n uint64) {
+	if m.On() {
+		m.hist[id].Observe(time.Duration(n) * time.Microsecond)
+	}
+}
+
 // Timer starts timing an operation destined for histogram id. When
 // metrics are off (or m is nil) the zero Timer is returned and Done
 // is a no-op, so call sites need no branches.

@@ -43,6 +43,13 @@ const (
 	HLockWait
 	// HIPCRequest: one server-side ipc request, dispatch to reply.
 	HIPCRequest
+	// HCommitStall: time a durable commit spent waiting for its log
+	// record to become durable (append through group-flush wakeup).
+	HCommitStall
+	// HWALGroup: the number of commits amortized by one WAL group
+	// flush. A count histogram: record via ObserveN, read via
+	// HistogramSnapshot counts (not durations).
+	HWALGroup
 
 	numHists
 )
@@ -50,11 +57,28 @@ const (
 var histNames = [numHists]string{
 	"op", "txn_commit", "signal", "cond_eval",
 	"action_exec", "wal_sync", "lock_wait", "ipc_request",
+	"commit_stall", "wal_group_size",
 }
+
+// histIsCount marks histograms whose observations are counts recorded
+// via ObserveN, not durations.
+var histIsCount = [numHists]bool{HWALGroup: true}
 
 // HistNames returns the canonical histogram names in display order;
 // snapshot maps are keyed by these.
 func HistNames() []string { return append([]string(nil), histNames[:]...) }
+
+// HistIsCount reports whether the named histogram holds counts
+// (ObserveN units) rather than latencies; renderers should print its
+// mean and quantiles as plain numbers.
+func HistIsCount(name string) bool {
+	for id, n := range histNames {
+		if n == name {
+			return histIsCount[id]
+		}
+	}
+	return false
+}
 
 // Options configures an Obs. The zero value means enabled with
 // default trace capacity and no slow-firing log.
@@ -96,8 +120,10 @@ func New(opts Options) *Obs {
 		logf = log.Printf
 	}
 	m := &Metrics{}
-	tr := &Tracer{capacity: capacity, slow: opts.SlowFiring, logf: logf,
-		bound: map[uint64]*Span{}}
+	tr := &Tracer{capacity: capacity, slow: opts.SlowFiring, logf: logf}
+	for i := range tr.bound {
+		tr.bound[i].m = map[uint64]*Span{}
+	}
 	if !opts.Disabled {
 		m.on.Store(true)
 		tr.on.Store(true)

@@ -12,12 +12,18 @@ import (
 // trace counters become <prefix>_*_total gauges/counters. prefix is
 // typically "hipac".
 func WritePrometheus(w io.Writer, s Snapshot, prefix string) error {
-	for _, name := range histNames {
+	for id, name := range histNames {
 		h, ok := s.Hist[name]
 		if !ok {
 			continue
 		}
+		// Count histograms (e.g. group-commit batch size) expose raw
+		// units; latency histograms expose seconds.
+		isCount := histIsCount[id]
 		metric := fmt.Sprintf("%s_%s_duration_seconds", prefix, name)
+		if isCount {
+			metric = fmt.Sprintf("%s_%s", prefix, name)
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", metric); err != nil {
 			return err
 		}
@@ -26,14 +32,22 @@ func WritePrometheus(w io.Writer, s Snapshot, prefix string) error {
 			cum += h.Buckets[i]
 			le := "+Inf"
 			if i < NumBuckets-1 {
-				le = strconv.FormatFloat(float64(BucketUpperMicros(i))/1e6, 'g', -1, 64)
+				if isCount {
+					le = strconv.FormatUint(BucketUpperMicros(i), 10)
+				} else {
+					le = strconv.FormatFloat(float64(BucketUpperMicros(i))/1e6, 'g', -1, 64)
+				}
 			}
 			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", metric, le, cum); err != nil {
 				return err
 			}
 		}
+		sum := float64(h.SumNS) / 1e9
+		if isCount {
+			sum = float64(h.SumNS) / 1e3 // ObserveN stores units as µs
+		}
 		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", metric,
-			strconv.FormatFloat(float64(h.SumNS)/1e9, 'g', -1, 64), metric, h.Count); err != nil {
+			strconv.FormatFloat(sum, 'g', -1, 64), metric, h.Count); err != nil {
 			return err
 		}
 	}

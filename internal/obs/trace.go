@@ -27,12 +27,30 @@ type Tracer struct {
 	logf      func(format string, args ...any)
 	slowCount atomic.Uint64
 
-	mu       sync.Mutex
-	bound    map[uint64]*Span
+	// bound is sharded by transaction id so concurrent bind/lookup
+	// traffic (every span open/close on every firing) does not
+	// serialize on the ring's mutex or on a single map lock.
+	bound [boundShards]boundShard
+
+	mu       sync.Mutex // guards the ring below
 	ring     []SpanSnapshot
 	next     int // overwrite cursor once the ring is full
 	recorded uint64
 	dropped  uint64
+}
+
+// boundShards is the fixed shard count for the span↔transaction
+// binding table. Transaction ids are sequential, so simple modulo
+// spreads neighbors across shards.
+const boundShards = 16
+
+type boundShard struct {
+	mu sync.Mutex
+	m  map[uint64]*Span
+}
+
+func (t *Tracer) shard(txn uint64) *boundShard {
+	return &t.bound[txn%boundShards]
 }
 
 // On reports whether tracing is enabled. Safe on nil.
@@ -75,23 +93,25 @@ func (t *Tracer) bind(txn uint64, s *Span) {
 	if txn == 0 {
 		return
 	}
-	t.mu.Lock()
-	if _, taken := t.bound[txn]; !taken {
-		t.bound[txn] = s
+	sh := t.shard(txn)
+	sh.mu.Lock()
+	if _, taken := sh.m[txn]; !taken {
+		sh.m[txn] = s
 		s.boundTo = txn
 	}
-	t.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 func (t *Tracer) unbind(s *Span) {
 	if s.boundTo == 0 {
 		return
 	}
-	t.mu.Lock()
-	if t.bound[s.boundTo] == s {
-		delete(t.bound, s.boundTo)
+	sh := t.shard(s.boundTo)
+	sh.mu.Lock()
+	if sh.m[s.boundTo] == s {
+		delete(sh.m, s.boundTo)
 	}
-	t.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // Bound returns the open span bound to the transaction id, if any.
@@ -99,9 +119,10 @@ func (t *Tracer) Bound(txn uint64) *Span {
 	if t == nil || txn == 0 {
 		return nil
 	}
-	t.mu.Lock()
-	s := t.bound[txn]
-	t.mu.Unlock()
+	sh := t.shard(txn)
+	sh.mu.Lock()
+	s := sh.m[txn]
+	sh.mu.Unlock()
 	return s
 }
 

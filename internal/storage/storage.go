@@ -25,6 +25,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/btree"
 	"repro/internal/datum"
@@ -73,7 +74,12 @@ type Options struct {
 	Dir string
 	// NoSync disables fsync on the WAL.
 	NoSync bool
-	// Obs, when non-nil, receives WAL fsync latencies.
+	// GroupWindow widens WAL group-commit batches: a flush leader
+	// dwells this long before snapshotting the batch. 0 flushes
+	// immediately (batching still happens whenever commits overlap).
+	GroupWindow time.Duration
+	// Obs, when non-nil, receives WAL fsync latencies, group-commit
+	// batch sizes, and commit-stall latencies.
 	Obs *obs.Metrics
 }
 
@@ -89,6 +95,7 @@ type Store struct {
 	modSeq  map[string]uint64 // class -> bumped on every write; used for incremental condition eval
 	log     *wal.Log
 	dir     string
+	obsm    *obs.Metrics // nil-safe commit-stall observer
 
 	// Counters are atomic: reads (Get/Scan) bump them while holding
 	// only the read lock.
@@ -103,6 +110,11 @@ type Stats struct {
 	IndexProbes uint64
 	TopCommits  uint64
 	WALBytes    uint64
+	// WALFsyncs counts physical fsyncs; WALSyncRequests counts commits
+	// that asked for durability. Fsyncs/requests < 1 means group
+	// commit is batching concurrent committers into shared flushes.
+	WALFsyncs       uint64
+	WALSyncRequests uint64
 }
 
 // Open creates a store. If opts.Dir is non-empty the store loads the
@@ -118,6 +130,7 @@ func Open(topo Topology, opts Options) (*Store, error) {
 		modSeq:  map[string]uint64{},
 		nextOID: 1,
 		dir:     opts.Dir,
+		obsm:    opts.Obs,
 	}
 	if opts.Dir == "" {
 		return s, nil
@@ -128,7 +141,8 @@ func Open(topo Topology, opts Options) (*Store, error) {
 	if err := s.loadSnapshot(filepath.Join(opts.Dir, "snapshot")); err != nil {
 		return nil, err
 	}
-	l, err := wal.Open(filepath.Join(opts.Dir, "wal"), wal.Options{NoSync: opts.NoSync, Obs: opts.Obs})
+	l, err := wal.Open(filepath.Join(opts.Dir, "wal"),
+		wal.Options{NoSync: opts.NoSync, GroupWindow: opts.GroupWindow, Obs: opts.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -358,7 +372,7 @@ func (s *Store) ModSeq(class string) uint64 {
 
 // Stats returns a snapshot of the activity counters.
 func (s *Store) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Puts:        s.nPuts.Load(),
 		Gets:        s.nGets.Load(),
 		Scans:       s.nScans.Load(),
@@ -366,6 +380,11 @@ func (s *Store) Stats() Stats {
 		TopCommits:  s.nCommits.Load(),
 		WALBytes:    s.nWALBytes.Load(),
 	}
+	if s.log != nil {
+		st.WALFsyncs = s.log.Fsyncs()
+		st.WALSyncRequests = s.log.SyncRequests()
+	}
+	return st
 }
 
 // DirtyOIDs returns the objects tx itself has written (not
@@ -419,20 +438,31 @@ func (s *Store) CommitNested(child, parent lock.TxnID) error {
 	return nil
 }
 
-// CommitTop makes tx's versions durable and visible to everyone: a
-// redo record is logged and synced, then the committed tier and the
-// secondary indexes are updated.
+// CommitTop makes tx's versions durable and visible to everyone. It
+// runs in three phases so the disk flush never stalls the store:
+//
+//  1. prepare — collect the new committed states under s.mu;
+//  2. log — append the redo record and group-fsync it with no store
+//     lock held, so concurrent committers batch into shared flushes;
+//  3. install — reacquire s.mu and publish the committed tier and
+//     secondary-index updates.
+//
+// The write-ahead invariant holds: no version installs before its log
+// record is durable. Reading the prepared records outside s.mu is
+// safe because records are immutable once Put (Put clones its input,
+// readers clone on the way out), tx's own versions cannot change
+// while its single commit goroutine is here, and tx still holds its
+// exclusive locks, so no other committer touches the same objects.
 func (s *Store) CommitTop(tx lock.TxnID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.nCommits.Add(1)
+
+	// Prepare.
+	s.mu.Lock()
 	oids := make([]datum.OID, 0, len(s.dirty[tx]))
 	for oid := range s.dirty[tx] {
 		oids = append(oids, oid)
 	}
 	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
-
-	// Collect the new committed states.
 	recs := make([]Record, 0, len(oids))
 	for _, oid := range oids {
 		c := s.objects[oid]
@@ -446,23 +476,30 @@ func (s *Store) CommitTop(tx lock.TxnID) error {
 			}
 		}
 	}
+	s.mu.Unlock()
 
-	// Log before install (write-ahead).
+	// Log before install (write-ahead), outside s.mu.
 	if s.log != nil && len(recs) > 0 {
 		payload := encodeRedo(recs)
-		if _, err := s.log.Append(payload); err != nil {
+		lsn, err := s.log.Append(payload)
+		if err != nil {
 			return err
 		}
-		if err := s.log.Sync(); err != nil {
+		tm := s.obsm.Timer(obs.HCommitStall)
+		if err := s.log.SyncTo(lsn + wal.LSN(8+len(payload))); err != nil {
 			return err
 		}
+		tm.Done()
 		s.nWALBytes.Add(uint64(len(payload)))
 	}
 
+	// Install.
+	s.mu.Lock()
 	for _, rec := range recs {
 		s.installCommitted(tx, rec)
 	}
 	delete(s.dirty, tx)
+	s.mu.Unlock()
 	return nil
 }
 

@@ -362,6 +362,11 @@ func (t *Txn) Commit() error {
 		}
 		m.locks.TransferToParent(t.id, parent.id)
 	} else {
+		// CommitTop runs outside m.mu, so independent top-level
+		// commits overlap here; the storage layer exploits that by
+		// fsyncing outside its own lock and batching the concurrent
+		// WAL flushes into one group commit. Locks are released only
+		// after the participant reports the effects durable.
 		for _, p := range m.parts {
 			if perr := p.CommitTop(t.id); perr != nil && err == nil {
 				err = perr

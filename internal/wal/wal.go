@@ -20,6 +20,8 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -33,14 +35,42 @@ var ErrClosed = errors.New("wal: log is closed")
 
 // Log is an append-only write-ahead log. It is safe for concurrent
 // use.
+//
+// Durability uses group commit: concurrent committers append their
+// records, then park in SyncTo on the flush state; the first one in
+// becomes the leader, fsyncs once for everyone whose record is
+// already in the file, and wakes the whole batch. Committers arriving
+// while a flush is in flight form the next batch, so at any moment at
+// most one fsync is outstanding and N concurrent commits cost far
+// fewer than N fsyncs.
 type Log struct {
 	mu     sync.Mutex
 	f      *os.File
 	path   string
 	end    LSN // offset at which the next record will be written
 	closed bool
-	sync   bool         // fsync on Sync() when true
-	obsm   *obs.Metrics // nil-safe fsync latency observer
+	sync   bool          // fsync on Sync() when true
+	window time.Duration // leader dwell before snapshotting the batch
+	obsm   *obs.Metrics  // nil-safe fsync latency + group size observer
+
+	// Group-flush state, guarded by fmu (never held across the fsync
+	// itself). flushed is the durable prefix; flushing marks a leader
+	// mid-fsync; fgen bumps after every flush attempt so parked
+	// followers know their flush finished; ferr is the most recent
+	// flush attempt's error (nil after a success); pending counts
+	// SyncTo calls waiting for durability.
+	fmu      sync.Mutex
+	fcond    *sync.Cond
+	flushed  LSN
+	flushing bool
+	fgen     uint64
+	ferr     error
+	pending  int
+
+	// nFsyncs counts physical fsync calls; nSyncReqs counts Sync/SyncTo
+	// requests. nFsyncs/nSyncReqs < 1 means group commit is batching.
+	nFsyncs   atomic.Uint64
+	nSyncReqs atomic.Uint64
 }
 
 // Options configures a Log.
@@ -49,7 +79,11 @@ type Options struct {
 	// benchmarks and tests where durability across OS crashes is not
 	// required.
 	NoSync bool
-	// Obs, when non-nil, receives fsync latencies.
+	// GroupWindow, when >0, makes a group-flush leader dwell that long
+	// before snapshotting the batch, widening groups under load at the
+	// cost of added latency. 0 flushes as soon as the leader runs.
+	GroupWindow time.Duration
+	// Obs, when non-nil, receives fsync latencies and group sizes.
 	Obs *obs.Metrics
 }
 
@@ -61,7 +95,8 @@ func Open(path string, opts Options) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	l := &Log{f: f, path: path, sync: !opts.NoSync, obsm: opts.Obs}
+	l := &Log{f: f, path: path, sync: !opts.NoSync, window: opts.GroupWindow, obsm: opts.Obs}
+	l.fcond = sync.NewCond(&l.fmu)
 	end, err := l.scanEnd()
 	if err != nil {
 		f.Close()
@@ -130,23 +165,102 @@ func (l *Log) Append(payload []byte) (LSN, error) {
 	return lsn, nil
 }
 
-// Sync makes all appended records durable.
+// Sync makes all records appended so far durable. Equivalent to
+// SyncTo(End()): the call joins the current group flush.
 func (l *Log) Sync() error {
+	return l.SyncTo(l.End())
+}
+
+// SyncTo blocks until every byte below target is durable. Concurrent
+// callers batch: one leader fsyncs for the whole group while the rest
+// park on the flush generation; a single flush therefore acknowledges
+// many commits. A nil return guarantees the caller's record (ending
+// at target) is on stable storage.
+func (l *Log) SyncTo(target LSN) error {
+	l.nSyncReqs.Add(1)
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
 		return ErrClosed
 	}
 	if !l.sync {
 		return nil
 	}
-	tm := l.obsm.Timer(obs.HWALSync)
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: sync: %w", err)
+	l.fmu.Lock()
+	defer l.fmu.Unlock()
+	l.pending++
+	defer func() { l.pending-- }()
+	for l.flushed < target {
+		if l.flushing {
+			// Follower: park until the in-flight flush attempt
+			// finishes, then re-check the durable prefix.
+			gen := l.fgen
+			for l.fgen == gen {
+				l.fcond.Wait()
+			}
+			if l.ferr != nil && l.flushed < target {
+				return l.ferr
+			}
+			continue
+		}
+		// Leader: flush once for every record already in the file.
+		// The batch is everyone pending now; late arrivals form the
+		// next batch (they observe flushing == true and park).
+		l.flushing = true
+		group := l.pending
+		l.fmu.Unlock()
+		end, err := l.flushOnce()
+		l.fmu.Lock()
+		l.flushing = false
+		l.fgen++
+		l.ferr = err
+		if err == nil {
+			if end > l.flushed {
+				l.flushed = end
+			}
+			l.obsm.ObserveN(obs.HWALGroup, uint64(group))
+		}
+		l.fcond.Broadcast()
+		if err != nil {
+			return err
+		}
 	}
-	tm.Done()
 	return nil
 }
+
+// flushOnce performs one physical flush: optionally dwell for the
+// group window, snapshot the append frontier, fsync, and report the
+// frontier that is now durable. Runs outside both mutexes so
+// concurrent Appends (growing the next batch) are never blocked by
+// the disk.
+func (l *Log) flushOnce() (LSN, error) {
+	if l.window > 0 {
+		time.Sleep(l.window)
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	end := l.end
+	f := l.f
+	l.mu.Unlock()
+	l.nFsyncs.Add(1)
+	tm := l.obsm.Timer(obs.HWALSync)
+	if err := f.Sync(); err != nil {
+		return 0, fmt.Errorf("wal: sync: %w", err)
+	}
+	tm.Done()
+	return end, nil
+}
+
+// Fsyncs returns the number of physical fsync calls issued.
+func (l *Log) Fsyncs() uint64 { return l.nFsyncs.Load() }
+
+// SyncRequests returns the number of durability requests (Sync and
+// SyncTo calls). With group commit, Fsyncs()/SyncRequests() < 1.
+func (l *Log) SyncRequests() uint64 { return l.nSyncReqs.Load() }
 
 // End returns the LSN one past the last appended record.
 func (l *Log) End() LSN {
@@ -206,7 +320,14 @@ func (l *Log) Replay(fn func(lsn LSN, payload []byte) error) error {
 
 // Reset truncates the log to empty. Used after writing a checkpoint
 // snapshot: records folded into the snapshot are no longer needed.
+// Must not run concurrently with commits (callers quiesce first).
 func (l *Log) Reset() error {
+	// fmu before mu, matching SyncTo's lock order. The durable prefix
+	// restarts at zero with the file, else stale flushed offsets would
+	// satisfy post-reset SyncTo targets without an fsync.
+	l.fmu.Lock()
+	l.flushed = 0
+	l.fmu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func openTemp(t *testing.T) (*Log, string) {
@@ -266,6 +267,134 @@ func TestSyncMode(t *testing.T) {
 	}
 }
 
+func TestGroupSyncConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "group.wal")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				payload := []byte(fmt.Sprintf("w%d-%d", w, i))
+				lsn, err := l.Append(payload)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// A nil SyncTo return promises this record is durable.
+				if err := l.SyncTo(lsn + LSN(8+len(payload))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var count int
+	if err := l.Replay(func(LSN, []byte) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != writers*each {
+		t.Fatalf("replayed %d records, want %d", count, writers*each)
+	}
+	reqs, fsyncs := l.SyncRequests(), l.Fsyncs()
+	if reqs != writers*each {
+		t.Fatalf("SyncRequests = %d, want %d", reqs, writers*each)
+	}
+	if fsyncs == 0 || fsyncs > reqs {
+		t.Fatalf("Fsyncs = %d, want in [1, %d]", fsyncs, reqs)
+	}
+}
+
+func TestSyncToAlreadyDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "durable.wal")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	lsn, err := l.Append([]byte("rec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := lsn + LSN(8+3)
+	if err := l.SyncTo(target); err != nil {
+		t.Fatal(err)
+	}
+	before := l.Fsyncs()
+	// The prefix is already durable: no new fsync is needed.
+	if err := l.SyncTo(target); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Fsyncs(); got != before {
+		t.Fatalf("redundant SyncTo issued an fsync (%d -> %d)", before, got)
+	}
+}
+
+func TestResetClearsDurablePrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reset.wal")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.Append([]byte("before-checkpoint"))
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	before := l.Fsyncs()
+	lsn, err := l.Append([]byte("after-checkpoint"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pre-reset durable prefix must not satisfy post-reset
+	// targets: this record needs its own flush.
+	if err := l.SyncTo(lsn + LSN(8+16)); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Fsyncs(); got == before {
+		t.Fatal("SyncTo after Reset did not fsync (stale durable prefix)")
+	}
+}
+
+func TestGroupWindowStillDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "window.wal")
+	l, err := Open(path, Options{GroupWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("w%d", w))
+			lsn, err := l.Append(payload)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := l.SyncTo(lsn + LSN(8+len(payload))); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Fsyncs() == 0 {
+		t.Fatal("no fsync issued")
+	}
+}
+
 func BenchmarkAppendNoSync(b *testing.B) {
 	path := filepath.Join(b.TempDir(), "bench.wal")
 	l, err := Open(path, Options{NoSync: true})
@@ -281,6 +410,42 @@ func BenchmarkAppendNoSync(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkParallelAppendSync measures the append+durability path
+// under concurrent committers (sweep with -cpu 1,2,4,8). With group
+// commit, the fsync sub-benchmark's ns/op drops as concurrency rises
+// because parked committers share one flush.
+func BenchmarkParallelAppendSync(b *testing.B) {
+	run := func(b *testing.B, noSync bool) {
+		path := filepath.Join(b.TempDir(), "bench.wal")
+		l, err := Open(path, Options{NoSync: noSync})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		payload := bytes.Repeat([]byte("p"), 128)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := l.Append(payload); err != nil {
+					b.Error(err)
+					return
+				}
+				if err := l.Sync(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		if reqs := l.SyncRequests(); reqs > 0 {
+			b.ReportMetric(float64(l.Fsyncs())/float64(reqs), "fsyncs/req")
+		}
+	}
+	b.Run("nosync", func(b *testing.B) { run(b, true) })
+	b.Run("fsync", func(b *testing.B) { run(b, false) })
 }
 
 func TestQuickRandomPayloadsSurviveReopen(t *testing.T) {
