@@ -604,6 +604,48 @@ func BenchmarkParallelCommit(b *testing.B) {
 	b.Run("wal-fsync", func(b *testing.B) { run(b, b.TempDir(), false) })
 }
 
+// BenchmarkCheckpointDuringCommits measures how much a running fuzzy
+// checkpointer perturbs the commit path (C14). Sub-runs toggle the
+// background checkpointer against the same parallel-commit workload;
+// the non-quiescent design is held to commit p99 within 2x of the
+// checkpointer-off baseline. Reported extras: checkpoints taken during
+// the run and the commit-stall p99 from the engine's histograms.
+func BenchmarkCheckpointDuringCommits(b *testing.B) {
+	run := func(b *testing.B, noSync bool, interval time.Duration) {
+		e, err := core.Open(core.Options{Dir: b.TempDir(), NoSync: noSync,
+			CheckpointInterval: interval,
+			Clock:              hipac.NewVirtualClock(workload.Epoch)})
+		mustB(b, err)
+		b.Cleanup(func() { e.Close() })
+		mustB(b, workload.DefineBase(e))
+		oids, err := workload.SeedStocks(e, 128)
+		mustB(b, err)
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			oid := oids[int(next.Add(1)-1)%len(oids)]
+			i := 0
+			for pb.Next() {
+				tx := e.Begin()
+				mustB(b, e.Modify(tx, oid, map[string]datum.Value{
+					"price": datum.Float(float64(i))}))
+				mustB(b, tx.Commit())
+				i++
+			}
+		})
+		b.StopTimer()
+		st := e.Store.Stats()
+		b.ReportMetric(float64(st.Checkpoints), "checkpoints")
+		if h := e.Obs.Snapshot().Hist["commit_stall"]; h.Count > 0 {
+			b.ReportMetric(float64(h.Quantile(0.99).Nanoseconds()), "stall-p99-ns")
+		}
+	}
+	b.Run("nosync-ckpt-off", func(b *testing.B) { run(b, true, 0) })
+	b.Run("nosync-ckpt-5ms", func(b *testing.B) { run(b, true, 5*time.Millisecond) })
+	b.Run("fsync-ckpt-off", func(b *testing.B) { run(b, false, 0) })
+	b.Run("fsync-ckpt-25ms", func(b *testing.B) { run(b, false, 25*time.Millisecond) })
+}
+
 // BenchmarkWALDurability ablates the write-ahead log: committed
 // update cost in-memory, with a WAL (no fsync), and with fsync.
 func BenchmarkWALDurability(b *testing.B) {

@@ -349,6 +349,14 @@ func (s *shell) exec(line string) error {
 		printObs(s.out, rep.Obs)
 		return nil
 
+	case "checkpoint":
+		reclaimed, err := s.c.Checkpoint()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "checkpoint complete, %d wal bytes reclaimed\n", reclaimed)
+		return nil
+
 	case "trace":
 		// trace last [n] — show the newest n finished firing trees.
 		n := 1
@@ -472,6 +480,7 @@ const helpText = `commands:
   enable|disable|drop <rule>
   fire <rule> [<param>=<value> ...]
   stats | graph | trace last [n]
+  checkpoint
   quit`
 
 func parseAttrDef(spec string) (object.AttrDef, error) {

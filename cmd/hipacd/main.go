@@ -6,7 +6,7 @@
 // Usage:
 //
 //	hipacd [-addr 127.0.0.1:4815] [-dir /var/lib/hipac] [-nosync]
-//	       [-group-window 0] [-metrics :9090]
+//	       [-group-window 0] [-checkpoint-interval 0] [-metrics :9090]
 //
 // With -metrics, an HTTP listener serves the engine's counters and
 // latency histograms in Prometheus text format at /metrics.
@@ -31,10 +31,13 @@ func main() {
 	nosync := flag.Bool("nosync", false, "disable fsync on the write-ahead log")
 	window := flag.Duration("group-window", 0,
 		"group-commit dwell: flush leaders wait this long to widen batches (0: flush immediately)")
+	ckptEvery := flag.Duration("checkpoint-interval", 0,
+		"run a fuzzy checkpoint (snapshot + WAL truncation, no commit quiesce) at this period (0: disabled)")
 	metrics := flag.String("metrics", "", "Prometheus /metrics listen address (empty: disabled)")
 	flag.Parse()
 
-	eng, err := core.Open(core.Options{Dir: *dir, NoSync: *nosync, GroupCommitWindow: *window})
+	eng, err := core.Open(core.Options{Dir: *dir, NoSync: *nosync, GroupCommitWindow: *window,
+		CheckpointInterval: *ckptEvery})
 	if err != nil {
 		log.Fatalf("hipacd: open engine: %v", err)
 	}

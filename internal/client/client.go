@@ -393,6 +393,17 @@ func (c *Client) Stats() (*ipc.StatsRep, error) {
 	return &rep, nil
 }
 
+// Checkpoint asks the server to run one fuzzy checkpoint now and
+// returns the WAL bytes reclaimed. Commits proceed concurrently on
+// the server; only the covered log prefix is dropped.
+func (c *Client) Checkpoint() (uint64, error) {
+	var rep ipc.CheckpointRep
+	if err := c.call(ipc.OpCheckpoint, nil, &rep); err != nil {
+		return 0, err
+	}
+	return rep.Reclaimed, nil
+}
+
 // Trace fetches the server's newest finished firing trees, newest
 // first (n <= 0 means all retained).
 func (c *Client) Trace(n int) ([]obs.SpanSnapshot, error) {

@@ -44,6 +44,11 @@ type Options struct {
 	// commit latency for fewer fsyncs under concurrent load. 0 (the
 	// default) flushes immediately; overlapping commits still batch.
 	GroupCommitWindow time.Duration
+	// CheckpointInterval, when >0 and Dir is set, runs a background
+	// fuzzy checkpoint at this period, bounding WAL growth and recovery
+	// replay time. Checkpoints do not quiesce commits. 0 disables the
+	// loop; Checkpoint can still be called manually.
+	CheckpointInterval time.Duration
 	// Clock supplies time for temporal events; nil means the wall
 	// clock. Tests pass a *clock.Virtual.
 	Clock clock.Clock
@@ -75,6 +80,9 @@ type Engine struct {
 	extEvents map[string][]string // defined external events -> param names
 	fallback  rule.AppDispatcher  // e.g. the IPC server's remote dispatch
 	asyncErrs []error
+
+	ckptStop chan struct{} // closed by Close to stop the checkpoint loop
+	ckptDone chan struct{} // closed by the loop on exit
 }
 
 // Open creates (or reopens, when opts.Dir holds prior state) an
@@ -146,11 +154,42 @@ func Open(opts Options) (*Engine, error) {
 		store.Close()
 		return nil, err
 	}
+	if opts.Dir != "" && opts.CheckpointInterval > 0 {
+		e.ckptStop = make(chan struct{})
+		e.ckptDone = make(chan struct{})
+		go e.checkpointLoop(opts.CheckpointInterval)
+	}
 	return e, nil
 }
 
-// Close quiesces asynchronous rule firings and closes the store.
+// checkpointLoop runs fuzzy checkpoints at a fixed period until Close.
+// Failures are recorded as async errors; the loop keeps going (a
+// transient full disk should not permanently stop WAL reclamation).
+func (e *Engine) checkpointLoop(interval time.Duration) {
+	defer close(e.ckptDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.ckptStop:
+			return
+		case <-t.C:
+			if _, err := e.Store.Checkpoint(); err != nil {
+				e.mu.Lock()
+				e.asyncErrs = append(e.asyncErrs, fmt.Errorf("checkpoint: %w", err))
+				e.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Close stops the checkpoint loop, quiesces asynchronous rule
+// firings, and closes the store.
 func (e *Engine) Close() error {
+	if e.ckptStop != nil {
+		close(e.ckptStop)
+		<-e.ckptDone
+	}
 	e.Rules.Quiesce()
 	return e.Store.Close()
 }
@@ -158,10 +197,10 @@ func (e *Engine) Close() error {
 // Clock returns the engine's clock.
 func (e *Engine) Clock() clock.Clock { return e.clk }
 
-// Checkpoint writes a storage snapshot and truncates the WAL. Callers
-// should quiesce first (no concurrent commits).
-func (e *Engine) Checkpoint() error {
-	e.Rules.Quiesce()
+// Checkpoint runs one fuzzy checkpoint — snapshot the committed tier,
+// then truncate the WAL prefix it covers — and returns the log bytes
+// reclaimed. It does not quiesce: commits proceed concurrently.
+func (e *Engine) Checkpoint() (uint64, error) {
 	return e.Store.Checkpoint()
 }
 

@@ -464,7 +464,7 @@ func TestEngineCheckpoint(t *testing.T) {
 		})
 		tx.Commit()
 	}
-	if err := e.Checkpoint(); err != nil {
+	if _, err := e.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
 	// Post-checkpoint commits land in the fresh WAL.
@@ -486,6 +486,51 @@ func TestEngineCheckpoint(t *testing.T) {
 	}
 	if res.Rows[0][0].AsInt() != 11 {
 		t.Fatalf("recovered %d stocks, want 11", res.Rows[0][0].AsInt())
+	}
+}
+
+func TestBackgroundCheckpointLoop(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir, NoSync: true, Clock: clock.NewVirtual(epoch),
+		CheckpointInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	e.DefineClass(tx, stockClass)
+	tx.Commit()
+	for i := 0; i < 20; i++ {
+		tx := e.Begin()
+		e.Create(tx, "Stock", map[string]datum.Value{
+			"symbol": datum.Str(fmt.Sprintf("S%d", i)), "price": datum.Float(float64(i)),
+		})
+		tx.Commit()
+		time.Sleep(time.Millisecond)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Store.Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background checkpointer never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := e.Close(); err != nil { // loop must join cleanly
+		t.Fatal(err)
+	}
+
+	e2, err := Open(Options{Dir: dir, NoSync: true, Clock: clock.NewVirtual(epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	tx2 := e2.Begin()
+	defer tx2.Commit()
+	res, err := e2.Query(tx2, "select count(*) as n from Stock s", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 20 {
+		t.Fatalf("recovered %d stocks, want 20", res.Rows[0][0].AsInt())
 	}
 }
 

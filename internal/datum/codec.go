@@ -66,14 +66,18 @@ func DecodeBinary(b []byte) (Value, int, error) {
 		return Float(f), n + 8, nil
 	case KindString:
 		l, m := binary.Uvarint(b[n:])
-		if m <= 0 || len(b) < n+m+int(l) {
+		// Compare in uint64 so a huge length cannot wrap int and slip
+		// past the bounds check.
+		if m <= 0 || l > uint64(len(b)-n-m) {
 			return Value{}, 0, fmt.Errorf("datum: truncated string")
 		}
 		n += m
 		return Str(string(b[n : n+int(l)])), n + int(l), nil
 	case KindList:
 		l, m := binary.Uvarint(b[n:])
-		if m <= 0 {
+		// Each element takes at least one byte, so a count beyond the
+		// remaining input is corrupt — reject before allocating.
+		if m <= 0 || l > uint64(len(b)-n-m) {
 			return Value{}, 0, fmt.Errorf("datum: truncated list length")
 		}
 		n += m
@@ -207,13 +211,16 @@ func EncodeMap(dst []byte, m map[string]Value) []byte {
 // front of b, returning the map and bytes consumed.
 func DecodeMap(b []byte) (map[string]Value, int, error) {
 	cnt, n := binary.Uvarint(b)
-	if n <= 0 {
+	// Each entry takes at least two bytes (key length + kind tag), so
+	// a count beyond the remaining input is corrupt — reject before
+	// allocating the map.
+	if n <= 0 || cnt > uint64(len(b)-n) {
 		return nil, 0, fmt.Errorf("datum: truncated map header")
 	}
 	m := make(map[string]Value, cnt)
 	for i := uint64(0); i < cnt; i++ {
 		l, k := binary.Uvarint(b[n:])
-		if k <= 0 || len(b) < n+k+int(l) {
+		if k <= 0 || l > uint64(len(b)-n-k) {
 			return nil, 0, fmt.Errorf("datum: truncated map key")
 		}
 		n += k

@@ -1,0 +1,65 @@
+// Package failpoint is a test-only crash/fault injection registry.
+// Durability-critical code paths (WAL append, fsync, checkpoint
+// snapshot, rename, truncate) call Hit with a site name; tests
+// register callbacks that capture on-disk state mid-operation or
+// simulate a crash at exactly that instant. In production no hook is
+// registered and Hit costs a single atomic load.
+package failpoint
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	active atomic.Int32 // number of registered hooks; 0 = fast path
+	mu     sync.RWMutex
+	hooks  map[string]func()
+)
+
+// Hit invokes the hook registered for the named site, if any. The
+// hook runs synchronously on the calling goroutine, which may hold
+// internal locks of the calling package — hooks must not call back
+// into the store or log they are observing.
+func Hit(name string) {
+	if active.Load() == 0 {
+		return
+	}
+	mu.RLock()
+	fn := hooks[name]
+	mu.RUnlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// Set registers (or replaces) the hook for a site.
+func Set(name string, fn func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	if hooks == nil {
+		hooks = map[string]func(){}
+	}
+	if _, exists := hooks[name]; !exists {
+		active.Add(1)
+	}
+	hooks[name] = fn
+}
+
+// Clear removes the hook for a site.
+func Clear(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := hooks[name]; exists {
+		delete(hooks, name)
+		active.Add(-1)
+	}
+}
+
+// ClearAll removes every registered hook.
+func ClearAll() {
+	mu.Lock()
+	defer mu.Unlock()
+	active.Add(-int32(len(hooks)))
+	hooks = nil
+}

@@ -154,6 +154,7 @@ const (
 	OpStats       = "stats"
 	OpTrace       = "trace"
 	OpGraph       = "graph"
+	OpCheckpoint  = "checkpoint"
 )
 
 // TxnRef names a transaction in requests.
@@ -291,6 +292,13 @@ type ServeReq struct {
 type StatsRep struct {
 	Engine json.RawMessage `json:"engine"`
 	Obs    obs.Snapshot    `json:"obs"`
+}
+
+// CheckpointRep reports the outcome of a manually triggered fuzzy
+// checkpoint.
+type CheckpointRep struct {
+	// Reclaimed is the number of WAL bytes truncated away.
+	Reclaimed uint64 `json:"reclaimed"`
 }
 
 // TraceReq asks for the newest finished firing trees (Last <= 0 means

@@ -50,6 +50,11 @@ const (
 	// flush. A count histogram: record via ObserveN, read via
 	// HistogramSnapshot counts (not durations).
 	HWALGroup
+	// HCheckpoint: one fuzzy checkpoint, scan through WAL truncation.
+	HCheckpoint
+	// HWALReclaimed: WAL bytes reclaimed by one checkpoint truncation.
+	// A count histogram like HWALGroup.
+	HWALReclaimed
 
 	numHists
 )
@@ -58,11 +63,12 @@ var histNames = [numHists]string{
 	"op", "txn_commit", "signal", "cond_eval",
 	"action_exec", "wal_sync", "lock_wait", "ipc_request",
 	"commit_stall", "wal_group_size",
+	"checkpoint", "wal_bytes_reclaimed",
 }
 
 // histIsCount marks histograms whose observations are counts recorded
 // via ObserveN, not durations.
-var histIsCount = [numHists]bool{HWALGroup: true}
+var histIsCount = [numHists]bool{HWALGroup: true, HWALReclaimed: true}
 
 // HistNames returns the canonical histogram names in display order;
 // snapshot maps are keyed by these.

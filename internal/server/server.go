@@ -594,6 +594,14 @@ func (s *session) handle(req *ipc.Message) {
 		}
 		s.reply(req, ipc.TraceRep{Traces: eng.Obs.Tracer().Last(body.Last)}, nil)
 
+	case ipc.OpCheckpoint:
+		reclaimed, err := eng.Checkpoint()
+		if err != nil {
+			s.reply(req, nil, err)
+			return
+		}
+		s.reply(req, ipc.CheckpointRep{Reclaimed: reclaimed}, nil)
+
 	case ipc.OpGraph:
 		var rep ipc.GraphRep
 		for _, n := range eng.Conditions.Nodes() {

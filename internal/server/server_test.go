@@ -564,3 +564,53 @@ func TestDropClassAndUpdateRuleOverIPC(t *testing.T) {
 		t.Fatal("update of unknown rule accepted over IPC")
 	}
 }
+
+func TestCheckpointOverIPC(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := core.Open(core.Options{Dir: dir, NoSync: true, Clock: clock.NewVirtual(epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	c := dial(t, ln.Addr().String())
+
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DefineClass(tx, stockClass); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create(tx, "Stock", map[string]datum.Value{
+		"symbol": datum.Str("XRX"), "price": datum.Float(48),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	reclaimed, err := c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed == 0 {
+		t.Fatal("checkpoint over ipc reclaimed no WAL bytes")
+	}
+	// A second checkpoint with nothing new to cover reclaims nothing.
+	again, err := c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != 0 {
+		t.Fatalf("idle checkpoint reclaimed %d bytes", again)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -29,6 +30,7 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/datum"
+	"repro/internal/failpoint"
 	"repro/internal/lock"
 	"repro/internal/obs"
 	"repro/internal/wal"
@@ -95,11 +97,26 @@ type Store struct {
 	modSeq  map[string]uint64 // class -> bumped on every write; used for incremental condition eval
 	log     *wal.Log
 	dir     string
+	noSync  bool
 	obsm    *obs.Metrics // nil-safe commit-stall observer
+
+	// inflight holds the LSNs of redo records that have been appended
+	// to the WAL but whose versions are not yet installed in the
+	// committed tier. The fuzzy checkpointer's watermark is the
+	// smallest in-flight LSN (or the log end if none): every record
+	// below it is guaranteed to be in the snapshot scan. Guarded by
+	// cmu; lock order is s.mu before cmu.
+	cmu      sync.Mutex
+	inflight map[wal.LSN]struct{}
+
+	// ckptMu serializes checkpoints (they are rare; overlapping ones
+	// would race on snapshot.tmp).
+	ckptMu sync.Mutex
 
 	// Counters are atomic: reads (Get/Scan) bump them while holding
 	// only the read lock.
 	nPuts, nGets, nScans, nProbes, nCommits, nWALBytes atomic.Uint64
+	nCheckpoints, nWALReclaimed                        atomic.Uint64
 }
 
 // Stats counts store activity.
@@ -115,6 +132,10 @@ type Stats struct {
 	// commit is batching concurrent committers into shared flushes.
 	WALFsyncs       uint64
 	WALSyncRequests uint64
+	// Checkpoints counts completed fuzzy checkpoints;
+	// WALBytesReclaimed totals the log bytes they truncated away.
+	Checkpoints       uint64
+	WALBytesReclaimed uint64
 }
 
 // Open creates a store. If opts.Dir is non-empty the store loads the
@@ -122,15 +143,17 @@ type Stats struct {
 // future top-level commits there.
 func Open(topo Topology, opts Options) (*Store, error) {
 	s := &Store{
-		topo:    topo,
-		objects: map[datum.OID]*chain{},
-		extents: map[string]map[datum.OID]struct{}{},
-		indexes: map[string]map[string]*btree.Tree{},
-		dirty:   map[lock.TxnID]map[datum.OID]struct{}{},
-		modSeq:  map[string]uint64{},
-		nextOID: 1,
-		dir:     opts.Dir,
-		obsm:    opts.Obs,
+		topo:     topo,
+		objects:  map[datum.OID]*chain{},
+		extents:  map[string]map[datum.OID]struct{}{},
+		indexes:  map[string]map[string]*btree.Tree{},
+		dirty:    map[lock.TxnID]map[datum.OID]struct{}{},
+		modSeq:   map[string]uint64{},
+		inflight: map[wal.LSN]struct{}{},
+		nextOID:  1,
+		dir:      opts.Dir,
+		noSync:   opts.NoSync,
+		obsm:     opts.Obs,
 	}
 	if opts.Dir == "" {
 		return s, nil
@@ -138,7 +161,8 @@ func Open(topo Topology, opts Options) (*Store, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: mkdir %s: %w", opts.Dir, err)
 	}
-	if err := s.loadSnapshot(filepath.Join(opts.Dir, "snapshot")); err != nil {
+	watermark, err := s.loadSnapshot(filepath.Join(opts.Dir, "snapshot"))
+	if err != nil {
 		return nil, err
 	}
 	l, err := wal.Open(filepath.Join(opts.Dir, "wal"),
@@ -147,7 +171,21 @@ func Open(topo Topology, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s.log = l
-	if err := l.Replay(func(_ wal.LSN, payload []byte) error {
+	// The checkpointer renames the snapshot before truncating the log,
+	// so on any crash the snapshot covers at least everything the log
+	// has dropped. A base past the watermark means records are gone
+	// from both places — refuse to open rather than lose data silently.
+	if base := l.Base(); base > watermark {
+		l.Close()
+		return nil, fmt.Errorf("storage: recovery: wal base %d beyond snapshot watermark %d", base, watermark)
+	}
+	if err := l.Replay(func(lsn wal.LSN, payload []byte) error {
+		if lsn < watermark {
+			// Already folded into the snapshot (watermark invariant);
+			// the record survives in the log only because truncation
+			// runs after the snapshot rename.
+			return nil
+		}
 		return s.applyRedo(payload)
 	}); err != nil {
 		l.Close()
@@ -380,6 +418,8 @@ func (s *Store) Stats() Stats {
 		TopCommits:  s.nCommits.Load(),
 		WALBytes:    s.nWALBytes.Load(),
 	}
+	st.Checkpoints = s.nCheckpoints.Load()
+	st.WALBytesReclaimed = s.nWALReclaimed.Load()
 	if s.log != nil {
 		st.WALFsyncs = s.log.Fsyncs()
 		st.WALSyncRequests = s.log.SyncRequests()
@@ -478,15 +518,31 @@ func (s *Store) CommitTop(tx lock.TxnID) error {
 	}
 	s.mu.Unlock()
 
-	// Log before install (write-ahead), outside s.mu.
+	// Log before install (write-ahead), outside s.mu. The record's LSN
+	// is registered as in-flight under cmu in the same critical
+	// section as the append, so a concurrent checkpoint either sees
+	// this commit installed or holds its watermark below the record —
+	// never both missing (the watermark invariant).
+	var lsn wal.LSN
+	logged := false
 	if s.log != nil && len(recs) > 0 {
 		payload := encodeRedo(recs)
-		lsn, err := s.log.Append(payload)
+		s.cmu.Lock()
+		var err error
+		lsn, err = s.log.Append(payload)
+		if err == nil {
+			s.inflight[lsn] = struct{}{}
+		}
+		s.cmu.Unlock()
 		if err != nil {
 			return err
 		}
+		logged = true
 		tm := s.obsm.Timer(obs.HCommitStall)
 		if err := s.log.SyncTo(lsn + wal.LSN(8+len(payload))); err != nil {
+			s.cmu.Lock()
+			delete(s.inflight, lsn)
+			s.cmu.Unlock()
 			return err
 		}
 		tm.Done()
@@ -499,6 +555,13 @@ func (s *Store) CommitTop(tx lock.TxnID) error {
 		s.installCommitted(tx, rec)
 	}
 	delete(s.dirty, tx)
+	if logged {
+		// Deregister only after the install: a checkpoint scan that
+		// missed these versions must still see the LSN in flight.
+		s.cmu.Lock()
+		delete(s.inflight, lsn)
+		s.cmu.Unlock()
+	}
 	s.mu.Unlock()
 	return nil
 }
@@ -620,7 +683,9 @@ func encodeRedo(recs []Record) []byte {
 
 func decodeRedo(payload []byte) ([]Record, error) {
 	cnt, n := binary.Uvarint(payload)
-	if n <= 0 {
+	// Each record takes several bytes, so a count beyond the remaining
+	// input is corrupt — reject before allocating.
+	if n <= 0 || cnt > uint64(len(payload)-n) {
 		return nil, errors.New("storage: bad redo header")
 	}
 	recs := make([]Record, 0, cnt)
@@ -631,7 +696,10 @@ func decodeRedo(payload []byte) ([]Record, error) {
 		}
 		n += m
 		clen, m := binary.Uvarint(payload[n:])
-		if m <= 0 || len(payload) < n+m+int(clen)+1 {
+		// Compare in uint64 so a huge length cannot wrap int and slip
+		// past the bounds check; >= keeps one byte for the tombstone
+		// flag.
+		if m <= 0 || clen >= uint64(len(payload)-n-m) {
 			return nil, errors.New("storage: bad redo class")
 		}
 		n += m
@@ -666,14 +734,44 @@ func (s *Store) applyRedo(payload []byte) error {
 	return nil
 }
 
-// Checkpoint writes the committed tier to the snapshot file and
-// truncates the WAL. It must not run concurrently with commits (the
-// engine quiesces first).
-func (s *Store) Checkpoint() error {
+// Checkpoint performs one fuzzy (non-quiescent) checkpoint: it
+// captures the committed tier plus a watermark LSN under the read
+// lock, writes an fsynced, LSN-tagged snapshot, atomically renames it
+// into place, and truncates the WAL prefix the snapshot covers. It
+// returns the number of log bytes reclaimed.
+//
+// Commits proceed concurrently: the only store lock taken is a read
+// lock for the in-memory scan, and the WAL keeps accepting appends
+// except during the (short) suffix copy inside TruncateBefore.
+//
+// The watermark invariant makes this safe: every committed record is
+// either in the snapshot or at LSN >= watermark. The watermark is the
+// smallest in-flight LSN (appended but not yet installed), or the log
+// end if none: a record below it was installed before the scan (the
+// read lock blocks installs mid-scan, and deregistration happens only
+// after install), so the scan saw it; anything at or above survives
+// TruncateBefore(watermark) and is replayed over the snapshot on
+// recovery.
+func (s *Store) Checkpoint() (uint64, error) {
 	if s.dir == "" {
-		return nil
+		return 0, nil
 	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	tm := s.obsm.Timer(obs.HCheckpoint)
+
 	s.mu.RLock()
+	var watermark wal.LSN
+	if s.log != nil {
+		watermark = s.log.End()
+		s.cmu.Lock()
+		for lsn := range s.inflight {
+			if lsn < watermark {
+				watermark = lsn
+			}
+		}
+		s.cmu.Unlock()
+	}
 	recs := make([]Record, 0, len(s.objects))
 	for _, c := range s.objects {
 		for i := range c.versions {
@@ -687,42 +785,135 @@ func (s *Store) Checkpoint() error {
 	s.mu.RUnlock()
 	sort.Slice(recs, func(i, j int) bool { return recs[i].OID < recs[j].OID })
 
-	buf := binary.AppendUvarint(nil, uint64(nextOID))
-	buf = append(buf, encodeRedo(recs)...)
+	buf := encodeSnapshot(watermark, nextOID, recs)
 	tmp := filepath.Join(s.dir, "snapshot.tmp")
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return fmt.Errorf("storage: write snapshot: %w", err)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("storage: create snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("storage: write snapshot: %w", err)
+	}
+	failpoint.Hit("storage.midSnapshot")
+	// fsync before the rename: the rename must never install a
+	// snapshot whose bytes could still be lost by a power failure.
+	if !s.noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("storage: sync snapshot: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("storage: close snapshot: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, "snapshot")); err != nil {
-		return fmt.Errorf("storage: install snapshot: %w", err)
+		return 0, fmt.Errorf("storage: install snapshot: %w", err)
 	}
+	failpoint.Hit("storage.afterRename")
+	if !s.noSync {
+		if err := syncDir(s.dir); err != nil {
+			return 0, err
+		}
+	}
+	failpoint.Hit("storage.beforeTruncate")
+	var reclaimed uint64
 	if s.log != nil {
-		return s.log.Reset()
+		// Only after the snapshot is durably in place may the covered
+		// prefix be dropped; crashing before this line recovers from
+		// the new snapshot plus the untruncated log.
+		reclaimed, err = s.log.TruncateBefore(watermark)
+		if err != nil {
+			return 0, err
+		}
 	}
-	return nil
+	s.nCheckpoints.Add(1)
+	s.nWALReclaimed.Add(reclaimed)
+	s.obsm.ObserveN(obs.HWALReclaimed, reclaimed)
+	tm.Done()
+	return reclaimed, nil
 }
 
-func (s *Store) loadSnapshot(path string) error {
+// snapshotMagic tags the snapshot format: watermark-stamped, CRC'd.
+const snapshotMagic = "hipacsp1"
+
+// encodeSnapshot serializes a checkpoint: magic, watermark, next OID,
+// the committed records in redo form, and a trailing CRC-32 over
+// everything before it.
+func encodeSnapshot(watermark wal.LSN, nextOID datum.OID, recs []Record) []byte {
+	buf := append([]byte(nil), snapshotMagic...)
+	buf = binary.AppendUvarint(buf, uint64(watermark))
+	buf = binary.AppendUvarint(buf, uint64(nextOID))
+	buf = append(buf, encodeRedo(recs)...)
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	return append(buf, crc[:]...)
+}
+
+// decodeSnapshot parses and verifies a snapshot produced by
+// encodeSnapshot.
+func decodeSnapshot(buf []byte) (wal.LSN, datum.OID, []Record, error) {
+	if len(buf) < len(snapshotMagic)+4 {
+		return 0, 0, nil, errors.New("storage: snapshot too short")
+	}
+	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	if string(body[:len(snapshotMagic)]) != snapshotMagic {
+		return 0, 0, nil, errors.New("storage: bad snapshot magic")
+	}
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
+		return 0, 0, nil, errors.New("storage: snapshot checksum mismatch")
+	}
+	n := len(snapshotMagic)
+	watermark, m := binary.Uvarint(body[n:])
+	if m <= 0 {
+		return 0, 0, nil, errors.New("storage: bad snapshot watermark")
+	}
+	n += m
+	nextOID, m := binary.Uvarint(body[n:])
+	if m <= 0 {
+		return 0, 0, nil, errors.New("storage: bad snapshot header")
+	}
+	n += m
+	recs, err := decodeRedo(body[n:])
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("storage: snapshot: %w", err)
+	}
+	return wal.LSN(watermark), datum.OID(nextOID), recs, nil
+}
+
+// loadSnapshot installs the snapshot at path, if present, and returns
+// its watermark: the LSN below which the snapshot covers every
+// committed record.
+func (s *Store) loadSnapshot(path string) (wal.LSN, error) {
 	buf, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil
+		return 0, nil
 	}
 	if err != nil {
-		return fmt.Errorf("storage: read snapshot: %w", err)
+		return 0, fmt.Errorf("storage: read snapshot: %w", err)
 	}
-	nextOID, n := binary.Uvarint(buf)
-	if n <= 0 {
-		return errors.New("storage: bad snapshot header")
-	}
-	recs, err := decodeRedo(buf[n:])
+	watermark, nextOID, recs, err := decodeSnapshot(buf)
 	if err != nil {
-		return fmt.Errorf("storage: snapshot: %w", err)
+		return 0, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.nextOID = datum.OID(nextOID)
+	s.nextOID = nextOID
 	for _, rec := range recs {
 		s.installCommitted(committedOwner, rec)
+	}
+	return watermark, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: sync dir: %w", err)
 	}
 	return nil
 }

@@ -404,7 +404,7 @@ func TestCheckpointAndRecovery(t *testing.T) {
 		s.Put(lock.TxnID(i+1), rec(oid, "C", map[string]datum.Value{"i": datum.Int(int64(i))}))
 		s.CommitTop(lock.TxnID(i + 1))
 	}
-	if err := s.Checkpoint(); err != nil {
+	if _, err := s.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
 	// More commits after the checkpoint land in the fresh WAL.
@@ -598,5 +598,84 @@ func TestTornTailAfterGroupFlush(t *testing.T) {
 	s2.ScanClass(999, "C", func(Record) bool { count++; return true })
 	if count != writers*each {
 		t.Fatalf("recovered %d objects, want exactly the committed prefix %d", count, writers*each)
+	}
+}
+
+// TestCheckpointConcurrentWithCommits hammers the fuzzy checkpointer:
+// commits never pause while checkpoints run, yet after a reopen every
+// committed value must be present — whether it arrived via the
+// snapshot or via the surviving WAL suffix. This is the deterministic
+// (non-sampled) companion to the crash-injection matrix and catches
+// any watermark that runs ahead of an in-flight commit.
+func TestCheckpointConcurrentWithCommits(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(newTopo(), Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 8
+	const each = 30
+	stop := make(chan struct{})
+	ckptDone := make(chan struct{})
+	var checkpoints int
+	go func() {
+		defer close(ckptDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.Checkpoint(); err != nil {
+				t.Error(err)
+				return
+			}
+			checkpoints++
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for v := int64(1); v <= each; v++ {
+				oid := datum.OID(uint64(w)*each + uint64(v))
+				tx := lock.TxnID(uint64(w+1)*1_000_000 + uint64(v))
+				s.Put(tx, rec(oid, "W", map[string]datum.Value{"v": datum.Int(v)}))
+				if err := s.CommitTop(tx); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-ckptDone
+	if checkpoints == 0 {
+		t.Fatal("checkpointer never ran")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if t.Failed() {
+		return
+	}
+
+	s2, err := Open(newTopo(), Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for w := 0; w < writers; w++ {
+		for v := int64(1); v <= each; v++ {
+			oid := datum.OID(uint64(w)*each + uint64(v))
+			got, ok := s2.Get(1, oid)
+			if !ok || got.Attrs["v"].AsInt() != v {
+				t.Fatalf("writer %d object %d: committed value lost across checkpointed recovery", w, oid)
+			}
+		}
 	}
 }

@@ -145,9 +145,10 @@ func TestCorruptRecordStopsReplayPrefix(t *testing.T) {
 	l.Append(bytes.Repeat([]byte("z"), 50))
 	l.Close()
 
-	// Flip a byte inside the second record's payload.
+	// Flip a byte inside the second record's payload. The file offset
+	// of LSN x is x - base + headerSize, and the base here is 0.
 	data, _ := os.ReadFile(path)
-	data[int(second)+8+10] ^= 0xFF
+	data[int(second)+headerSize+8+10] ^= 0xFF
 	os.WriteFile(path, data, 0o644)
 
 	l2, err := Open(path, Options{NoSync: true})
@@ -162,22 +163,153 @@ func TestCorruptRecordStopsReplayPrefix(t *testing.T) {
 	}
 }
 
-func TestReset(t *testing.T) {
-	l, _ := openTemp(t)
-	defer l.Close()
-	l.Append([]byte("a"))
-	if err := l.Reset(); err != nil {
+func TestTruncateBeforeDropsPrefixKeepsSuffix(t *testing.T) {
+	l, path := openTemp(t)
+	var lsns []LSN
+	for i := 0; i < 5; i++ {
+		lsn, err := l.Append([]byte(fmt.Sprintf("record-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	endBefore := l.End()
+	reclaimed, err := l.TruncateBefore(lsns[2])
+	if err != nil {
 		t.Fatal(err)
 	}
-	if l.End() != 0 {
-		t.Fatalf("End after Reset = %d", l.End())
+	if reclaimed != uint64(lsns[2]) {
+		t.Fatalf("reclaimed = %d, want %d", reclaimed, lsns[2])
+	}
+	if l.Base() != lsns[2] {
+		t.Fatalf("Base = %d, want %d", l.Base(), lsns[2])
+	}
+	if l.End() != endBefore {
+		t.Fatalf("End changed: %d -> %d", endBefore, l.End())
+	}
+	// Surviving records keep their logical LSNs.
+	var gotLSN []LSN
+	var got []string
+	l.Replay(func(lsn LSN, p []byte) error {
+		gotLSN = append(gotLSN, lsn)
+		got = append(got, string(p))
+		return nil
+	})
+	if len(got) != 3 || got[0] != "record-2" || got[2] != "record-4" {
+		t.Fatalf("replay after truncate: %v", got)
+	}
+	if gotLSN[0] != lsns[2] || gotLSN[2] != lsns[4] {
+		t.Fatalf("LSNs after truncate: %v, want %v", gotLSN, lsns[2:])
+	}
+	// Appends continue past the old end.
+	post, err := l.Append([]byte("record-5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post != endBefore {
+		t.Fatalf("post-truncate LSN = %d, want %d", post, endBefore)
+	}
+	l.Close()
+
+	// Base and suffix survive reopen.
+	l2, err := Open(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Base() != lsns[2] {
+		t.Fatalf("Base after reopen = %d, want %d", l2.Base(), lsns[2])
+	}
+	var count int
+	l2.Replay(func(LSN, []byte) error { count++; return nil })
+	if count != 4 {
+		t.Fatalf("replayed %d records after reopen, want 4", count)
+	}
+}
+
+func TestTruncateBeforeNoop(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	lsn, _ := l.Append([]byte("a"))
+	if _, err := l.TruncateBefore(lsn); err != nil {
+		t.Fatal(err)
+	}
+	// lsn == 0 == base: nothing to drop.
+	if l.Base() != 0 {
+		t.Fatalf("Base = %d after no-op truncate", l.Base())
+	}
+	reclaimed, err := l.TruncateBefore(l.End() + 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clamped to End: the whole log is reclaimed, no more.
+	if reclaimed != uint64(l.End()) {
+		t.Fatalf("reclaimed = %d, want %d", reclaimed, l.End())
 	}
 	var count int
 	l.Replay(func(LSN, []byte) error { count++; return nil })
 	if count != 0 {
-		t.Fatal("records survived Reset")
+		t.Fatal("records survived full truncate")
 	}
-	if _, err := l.Append([]byte("b")); err != nil {
+}
+
+func TestTruncateBeforeConcurrentWithDurableAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trunc.wal")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const writers, each = 4, 30
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	truncDone := make(chan struct{})
+	go func() { // checkpointer: repeatedly drop the durable prefix
+		defer close(truncDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := l.TruncateBefore(l.End()); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				payload := []byte(fmt.Sprintf("w%d-%d", w, i))
+				lsn, err := l.Append(payload)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l.SyncTo(lsn + LSN(8+len(payload))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-truncDone
+	// Every record at or above the final base must replay cleanly.
+	base := l.Base()
+	var prev LSN
+	if err := l.Replay(func(lsn LSN, p []byte) error {
+		if lsn < base || (prev != 0 && lsn <= prev) {
+			t.Errorf("bad replay LSN %d (base %d, prev %d)", lsn, base, prev)
+		}
+		prev = lsn
+		return nil
+	}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -191,8 +323,8 @@ func TestClosedErrors(t *testing.T) {
 	if err := l.Sync(); err != ErrClosed {
 		t.Fatalf("Sync after close: %v", err)
 	}
-	if err := l.Reset(); err != ErrClosed {
-		t.Fatalf("Reset after close: %v", err)
+	if _, err := l.TruncateBefore(1); err != ErrClosed {
+		t.Fatalf("TruncateBefore after close: %v", err)
 	}
 	if err := l.Replay(func(LSN, []byte) error { return nil }); err != ErrClosed {
 		t.Fatalf("Replay after close: %v", err)
@@ -337,8 +469,8 @@ func TestSyncToAlreadyDurable(t *testing.T) {
 	}
 }
 
-func TestResetClearsDurablePrefix(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "reset.wal")
+func TestTruncateBeforeKeepsDurabilityPromise(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trunc-durable.wal")
 	l, err := Open(path, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -348,7 +480,7 @@ func TestResetClearsDurablePrefix(t *testing.T) {
 	if err := l.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Reset(); err != nil {
+	if _, err := l.TruncateBefore(l.End()); err != nil {
 		t.Fatal(err)
 	}
 	before := l.Fsyncs()
@@ -356,13 +488,14 @@ func TestResetClearsDurablePrefix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The pre-reset durable prefix must not satisfy post-reset
-	// targets: this record needs its own flush.
+	// The record landed after the truncate rewrite was fsynced, so it
+	// still needs its own flush: a stale durable prefix must not let
+	// SyncTo acknowledge it for free.
 	if err := l.SyncTo(lsn + LSN(8+16)); err != nil {
 		t.Fatal(err)
 	}
 	if got := l.Fsyncs(); got == before {
-		t.Fatal("SyncTo after Reset did not fsync (stale durable prefix)")
+		t.Fatal("SyncTo after TruncateBefore did not fsync (stale durable prefix)")
 	}
 }
 
