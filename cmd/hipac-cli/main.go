@@ -3,6 +3,12 @@
 // Usage:
 //
 //	hipac-cli [-addr 127.0.0.1:4815]
+//	hipac-cli snapshot inspect <path>
+//
+// The second form is offline: it inspects a snapshot or delta file
+// from a durability directory without connecting to a server —
+// printing format, kind (full/delta), watermark, parent chain link,
+// record count, and CRC status.
 //
 // Commands (one per line):
 //
@@ -24,6 +30,7 @@
 //	fire <rule> [<param>=<value> ...]      fire a rule manually
 //	stats                          engine counters + latency histograms
 //	trace last [n]                 show the newest n firing trees
+//	snapshot inspect <path>        inspect a local snapshot/delta file
 //	help                           this text
 //	quit
 //
@@ -47,11 +54,23 @@ import (
 	"repro/internal/object"
 	"repro/internal/obs"
 	"repro/internal/rule"
+	"repro/internal/storage"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:4815", "server address")
 	flag.Parse()
+
+	// Offline verbs read local files directly — no server needed, so
+	// they work on a cold durability directory (e.g. post-crash
+	// forensics before deciding to restart the daemon).
+	if args := flag.Args(); len(args) > 0 && args[0] == "snapshot" {
+		if err := runSnapshot(os.Stdout, args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "hipac-cli: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	c, err := client.Dial(*addr)
 	if err != nil {
@@ -350,12 +369,18 @@ func (s *shell) exec(line string) error {
 		return nil
 
 	case "checkpoint":
-		reclaimed, err := s.c.Checkpoint()
+		rep, err := s.c.Checkpoint()
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(s.out, "checkpoint complete, %d wal bytes reclaimed\n", reclaimed)
+		fmt.Fprintf(s.out, "%s checkpoint complete, %d records, %d wal bytes reclaimed\n",
+			rep.Kind, rep.Records, rep.Reclaimed)
 		return nil
+
+	case "snapshot":
+		// Local file inspection; useful alongside a live session when
+		// the durability directory is on the same host.
+		return runSnapshot(s.out, args)
 
 	case "trace":
 		// trace last [n] — show the newest n finished firing trees.
@@ -481,7 +506,37 @@ const helpText = `commands:
   fire <rule> [<param>=<value> ...]
   stats | graph | trace last [n]
   checkpoint
+  snapshot inspect <path>
   quit`
+
+// runSnapshot handles "snapshot inspect <path>": it reads the file
+// directly rather than asking the server, so the same code backs the
+// offline invocation (hipac-cli snapshot inspect <path>).
+func runSnapshot(out io.Writer, args []string) error {
+	if len(args) != 2 || args[0] != "inspect" {
+		return fmt.Errorf("usage: snapshot inspect <path>")
+	}
+	info, err := storage.InspectSnapshotFile(args[1])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "path:      %s\n", info.Path)
+	fmt.Fprintf(out, "format:    %s\n", info.Format)
+	fmt.Fprintf(out, "kind:      %s\n", info.Kind)
+	fmt.Fprintf(out, "watermark: %d\n", info.Watermark)
+	fmt.Fprintf(out, "next oid:  %d\n", info.NextOID)
+	if info.Kind == "delta" {
+		fmt.Fprintf(out, "parent:    watermark %d, crc %08x\n",
+			info.ParentWatermark, info.ParentCRC)
+	}
+	fmt.Fprintf(out, "records:   %d\n", info.Records)
+	status := "ok"
+	if !info.CRCOK {
+		status = "MISMATCH (file damaged or truncated)"
+	}
+	fmt.Fprintf(out, "crc:       %08x (%s)\n", info.CRC, status)
+	return nil
+}
 
 func parseAttrDef(spec string) (object.AttrDef, error) {
 	var ad object.AttrDef

@@ -6,7 +6,9 @@
 // Usage:
 //
 //	hipacd [-addr 127.0.0.1:4815] [-dir /var/lib/hipac] [-nosync]
-//	       [-group-window 0] [-checkpoint-interval 0] [-metrics :9090]
+//	       [-group-window 0] [-checkpoint-interval 0]
+//	       [-checkpoint-after-bytes 0] [-checkpoint-compact-every 8]
+//	       [-metrics :9090]
 //
 // With -metrics, an HTTP listener serves the engine's counters and
 // latency histograms in Prometheus text format at /metrics.
@@ -33,11 +35,16 @@ func main() {
 		"group-commit dwell: flush leaders wait this long to widen batches (0: flush immediately)")
 	ckptEvery := flag.Duration("checkpoint-interval", 0,
 		"run a fuzzy checkpoint (snapshot + WAL truncation, no commit quiesce) at this period (0: disabled)")
+	ckptBytes := flag.Uint64("checkpoint-after-bytes", 0,
+		"also checkpoint whenever the WAL grows this many bytes past the last checkpoint (0: disabled)")
+	ckptCompact := flag.Int("checkpoint-compact-every", 0,
+		"compact the delta chain into a full snapshot after this many deltas (0: default 8)")
 	metrics := flag.String("metrics", "", "Prometheus /metrics listen address (empty: disabled)")
 	flag.Parse()
 
 	eng, err := core.Open(core.Options{Dir: *dir, NoSync: *nosync, GroupCommitWindow: *window,
-		CheckpointInterval: *ckptEvery})
+		CheckpointInterval: *ckptEvery, CheckpointAfterBytes: *ckptBytes,
+		CheckpointCompactEvery: *ckptCompact})
 	if err != nil {
 		log.Fatalf("hipacd: open engine: %v", err)
 	}

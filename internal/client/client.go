@@ -394,14 +394,15 @@ func (c *Client) Stats() (*ipc.StatsRep, error) {
 }
 
 // Checkpoint asks the server to run one fuzzy checkpoint now and
-// returns the WAL bytes reclaimed. Commits proceed concurrently on
-// the server; only the covered log prefix is dropped.
-func (c *Client) Checkpoint() (uint64, error) {
+// reports what it wrote: the chain-element kind ("full" or "delta"),
+// its record count, and the WAL bytes reclaimed. Commits proceed
+// concurrently on the server; only the covered log prefix is dropped.
+func (c *Client) Checkpoint() (*ipc.CheckpointRep, error) {
 	var rep ipc.CheckpointRep
 	if err := c.call(ipc.OpCheckpoint, nil, &rep); err != nil {
-		return 0, err
+		return nil, err
 	}
-	return rep.Reclaimed, nil
+	return &rep, nil
 }
 
 // Trace fetches the server's newest finished firing trees, newest

@@ -49,6 +49,16 @@ type Options struct {
 	// replay time. Checkpoints do not quiesce commits. 0 disables the
 	// loop; Checkpoint can still be called manually.
 	CheckpointInterval time.Duration
+	// CheckpointAfterBytes, when >0 and Dir is set, additionally
+	// triggers a checkpoint whenever the WAL has grown by this many
+	// bytes since the last one completed — demand-driven reclamation
+	// that tracks the write rate instead of the wall clock. 0 disables
+	// the size trigger.
+	CheckpointAfterBytes uint64
+	// CheckpointCompactEvery is the delta-chain length at which the
+	// next checkpoint rewrites a full snapshot instead of appending
+	// another delta. 0 means storage.DefaultCompactEvery.
+	CheckpointCompactEvery int
 	// Clock supplies time for temporal events; nil means the wall
 	// clock. Tests pass a *clock.Virtual.
 	Clock clock.Clock
@@ -79,10 +89,33 @@ type Engine struct {
 	appOps    map[string]AppHandler
 	extEvents map[string][]string // defined external events -> param names
 	fallback  rule.AppDispatcher  // e.g. the IPC server's remote dispatch
-	asyncErrs []error
+	async     *asyncSink
 
 	ckptStop chan struct{} // closed by Close to stop the checkpoint loop
 	ckptDone chan struct{} // closed by the loop on exit
+}
+
+// asyncSink collects errors from asynchronous work (temporal firings,
+// background checkpoints). It is a separate object because the store,
+// built before the Engine, needs somewhere to report size-triggered
+// checkpoint failures.
+type asyncSink struct {
+	mu   sync.Mutex
+	errs []error
+}
+
+func (s *asyncSink) record(err error) {
+	s.mu.Lock()
+	s.errs = append(s.errs, err)
+	s.mu.Unlock()
+}
+
+func (s *asyncSink) drain() []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.errs
+	s.errs = nil
+	return out
 }
 
 // Open creates (or reopens, when opts.Dir holds prior state) an
@@ -93,11 +126,15 @@ func Open(opts Options) (*Engine, error) {
 		clk = clock.Real()
 	}
 	o := obs.New(opts.Obs)
+	sink := &asyncSink{}
 	txns, locks := txn.NewSystem()
 	txns.SetObserver(o.Metrics())
 	locks.SetObserver(o.Metrics())
 	store, err := storage.Open(txns, storage.Options{Dir: opts.Dir, NoSync: opts.NoSync,
-		GroupWindow: opts.GroupCommitWindow, Obs: o.Metrics()})
+		GroupWindow: opts.GroupCommitWindow, Obs: o.Metrics(),
+		CheckpointAfterBytes: opts.CheckpointAfterBytes,
+		CompactEvery:         opts.CheckpointCompactEvery,
+		OnAsyncError:         sink.record})
 	if err != nil {
 		return nil, err
 	}
@@ -119,14 +156,11 @@ func Open(opts Options) (*Engine, error) {
 		Obs:        o,
 		appOps:     map[string]AppHandler{},
 		extEvents:  map[string][]string{},
+		async:      sink,
 	}
 	det := event.New(clk, rules.HandleEmit)
 	det.SetObserver(o.Metrics())
-	det.SetAsyncErrorHandler(func(err error) {
-		e.mu.Lock()
-		e.asyncErrs = append(e.asyncErrs, err)
-		e.mu.Unlock()
-	})
+	det.SetAsyncErrorHandler(sink.record)
 	e.Detectors = det
 	rules.SetDetectors(det)
 	rules.SetAppDispatcher(dispatcher{e})
@@ -175,9 +209,7 @@ func (e *Engine) checkpointLoop(interval time.Duration) {
 			return
 		case <-t.C:
 			if _, err := e.Store.Checkpoint(); err != nil {
-				e.mu.Lock()
-				e.asyncErrs = append(e.asyncErrs, fmt.Errorf("checkpoint: %w", err))
-				e.mu.Unlock()
+				e.async.record(fmt.Errorf("checkpoint: %w", err))
 			}
 		}
 	}
@@ -197,24 +229,22 @@ func (e *Engine) Close() error {
 // Clock returns the engine's clock.
 func (e *Engine) Clock() clock.Clock { return e.clk }
 
-// Checkpoint runs one fuzzy checkpoint — snapshot the committed tier,
-// then truncate the WAL prefix it covers — and returns the log bytes
-// reclaimed. It does not quiesce: commits proceed concurrently.
-func (e *Engine) Checkpoint() (uint64, error) {
+// Checkpoint runs one fuzzy checkpoint — a delta of the records
+// dirtied since the last one, or a full snapshot when the chain is
+// due for compaction — then truncates the WAL prefix the chain
+// covers. It does not quiesce: commits proceed concurrently.
+func (e *Engine) Checkpoint() (storage.CheckpointResult, error) {
 	return e.Store.Checkpoint()
 }
 
 // Quiesce waits for all in-flight separate rule firings.
 func (e *Engine) Quiesce() { e.Rules.Quiesce() }
 
-// AsyncErrors drains the errors recorded from asynchronous (temporal
-// or separate-coupled) rule processing.
+// AsyncErrors drains the errors recorded from asynchronous work:
+// temporal or separate-coupled rule processing and background
+// (interval- or size-triggered) checkpoints.
 func (e *Engine) AsyncErrors() []error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := e.asyncErrs
-	e.asyncErrs = nil
-	return out
+	return e.async.drain()
 }
 
 // --- operations on transactions (Fig 4.1) ---

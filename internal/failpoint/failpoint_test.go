@@ -1,0 +1,105 @@
+package failpoint
+
+// First tests for the injection registry. The crash matrices lean on
+// three properties: an unarmed site is (nearly) free and never fires,
+// arm/disarm is exact (no leftover hooks to poison the next round),
+// and concurrent Hit calls racing Set/Clear neither crash nor fire a
+// hook for the wrong site.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestArmDisarm(t *testing.T) {
+	defer ClearAll()
+	var hits int
+	Hit("t.site") // unarmed: no-op
+	Set("t.site", func() { hits++ })
+	Hit("t.site")
+	Hit("t.other") // armed registry, different site: still no-op
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+	Clear("t.site")
+	Hit("t.site")
+	if hits != 1 {
+		t.Fatalf("hits after Clear = %d, want 1", hits)
+	}
+	// Replacing a hook must not double-count the site: ClearAll's
+	// bookkeeping would otherwise leave the fast-path counter armed
+	// forever and every Hit would take the slow path.
+	Set("t.site", func() {})
+	Set("t.site", func() { hits += 100 })
+	Hit("t.site")
+	if hits != 101 {
+		t.Fatalf("hits after replace = %d, want 101", hits)
+	}
+}
+
+func TestClearAllResetsFastPath(t *testing.T) {
+	Set("a", func() {})
+	Set("b", func() {})
+	ClearAll()
+	if active.Load() != 0 {
+		t.Fatalf("active = %d after ClearAll, want 0", active.Load())
+	}
+	// Clearing a never-set site must not unbalance the counter.
+	Clear("never-set")
+	if active.Load() != 0 {
+		t.Fatalf("active = %d after spurious Clear, want 0", active.Load())
+	}
+}
+
+// TestConcurrentFire hammers one armed site from many goroutines
+// while another goroutine repeatedly arms and disarms a second site.
+// Every hit of the armed site must run its own hook; the racing site
+// must only ever run its own. Run under -race this also proves the
+// registry's internal synchronization.
+func TestConcurrentFire(t *testing.T) {
+	defer ClearAll()
+	var stable, flicker atomic.Int64
+	Set("t.stable", func() { stable.Add(1) })
+
+	const goroutines = 8
+	const perG = 2000
+	stop := make(chan struct{})
+	var armWG sync.WaitGroup
+	armWG.Add(1)
+	go func() {
+		defer armWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			Set("t.flicker", func() { flicker.Add(1) })
+			Hit("t.flicker")
+			Clear("t.flicker")
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				Hit("t.stable")
+				Hit("t.flicker") // may or may not be armed; must not panic
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	armWG.Wait()
+
+	if got := stable.Load(); got != goroutines*perG {
+		t.Fatalf("stable site fired %d times, want %d", got, goroutines*perG)
+	}
+	if flicker.Load() == 0 {
+		t.Fatal("flicker site never fired from its own goroutine")
+	}
+}

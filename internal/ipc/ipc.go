@@ -297,6 +297,11 @@ type StatsRep struct {
 // CheckpointRep reports the outcome of a manually triggered fuzzy
 // checkpoint.
 type CheckpointRep struct {
+	// Kind is "full" or "delta" — which chain element the checkpoint
+	// wrote.
+	Kind string `json:"kind"`
+	// Records is the number of records in that element.
+	Records int `json:"records"`
 	// Reclaimed is the number of WAL bytes truncated away.
 	Reclaimed uint64 `json:"reclaimed"`
 }

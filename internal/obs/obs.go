@@ -55,6 +55,10 @@ const (
 	// HWALReclaimed: WAL bytes reclaimed by one checkpoint truncation.
 	// A count histogram like HWALGroup.
 	HWALReclaimed
+	// HDeltaRecords: records written by one delta checkpoint — the
+	// "d" in the O(d) incremental-snapshot claim. A count histogram
+	// like HWALGroup.
+	HDeltaRecords
 
 	numHists
 )
@@ -63,12 +67,12 @@ var histNames = [numHists]string{
 	"op", "txn_commit", "signal", "cond_eval",
 	"action_exec", "wal_sync", "lock_wait", "ipc_request",
 	"commit_stall", "wal_group_size",
-	"checkpoint", "wal_bytes_reclaimed",
+	"checkpoint", "wal_bytes_reclaimed", "delta_records",
 }
 
 // histIsCount marks histograms whose observations are counts recorded
 // via ObserveN, not durations.
-var histIsCount = [numHists]bool{HWALGroup: true, HWALReclaimed: true}
+var histIsCount = [numHists]bool{HWALGroup: true, HWALReclaimed: true, HDeltaRecords: true}
 
 // HistNames returns the canonical histogram names in display order;
 // snapshot maps are keyed by these.

@@ -595,12 +595,13 @@ func (s *session) handle(req *ipc.Message) {
 		s.reply(req, ipc.TraceRep{Traces: eng.Obs.Tracer().Last(body.Last)}, nil)
 
 	case ipc.OpCheckpoint:
-		reclaimed, err := eng.Checkpoint()
+		res, err := eng.Checkpoint()
 		if err != nil {
 			s.reply(req, nil, err)
 			return
 		}
-		s.reply(req, ipc.CheckpointRep{Reclaimed: reclaimed}, nil)
+		s.reply(req, ipc.CheckpointRep{Kind: res.Kind, Records: res.Records,
+			Reclaimed: res.Reclaimed}, nil)
 
 	case ipc.OpGraph:
 		var rep ipc.GraphRep

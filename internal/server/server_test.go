@@ -598,19 +598,25 @@ func TestCheckpointOverIPC(t *testing.T) {
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	reclaimed, err := c.Checkpoint()
+	rep, err := c.Checkpoint()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if reclaimed == 0 {
+	if rep.Reclaimed == 0 {
 		t.Fatal("checkpoint over ipc reclaimed no WAL bytes")
+	}
+	if rep.Kind != "full" {
+		t.Fatalf("first checkpoint kind = %q, want full", rep.Kind)
 	}
 	// A second checkpoint with nothing new to cover reclaims nothing.
 	again, err := c.Checkpoint()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if again != 0 {
-		t.Fatalf("idle checkpoint reclaimed %d bytes", again)
+	if again.Reclaimed != 0 {
+		t.Fatalf("idle checkpoint reclaimed %d bytes", again.Reclaimed)
+	}
+	if again.Kind != "delta" || again.Records != 0 {
+		t.Fatalf("idle checkpoint = %+v, want empty delta", again)
 	}
 }

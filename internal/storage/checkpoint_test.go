@@ -1,0 +1,283 @@
+package storage
+
+// Directed tests for the incremental checkpointer: the O(d) delta
+// claim, compaction cadence, the empty-delta no-op, the WAL-growth
+// trigger, and the offline snapshot inspector.
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/lock"
+)
+
+// commitOne writes a single record in its own top-level transaction.
+func commitOne(t *testing.T, s *Store, tx lock.TxnID, r Record) {
+	t.Helper()
+	s.Put(tx, r)
+	if err := s.CommitTop(tx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaCheckpointWritesOnlyDirty is the acceptance criterion: a
+// store holding n objects of which d were dirtied since the last
+// checkpoint must write a delta of exactly d records — O(d), not
+// O(n) — while still reclaiming WAL bytes, and a deletion must travel
+// as a tombstone so recovery cannot resurrect the object from an
+// older chain element.
+func TestDeltaCheckpointWritesOnlyDirty(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(newTopo(), Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	oids := make([]datum.OID, n)
+	for i := 0; i < n; i++ {
+		oids[i] = s.AllocOID()
+		commitOne(t, s, lock.TxnID(i+1), rec(oids[i], "C",
+			map[string]datum.Value{"v": datum.Int(int64(i))}))
+	}
+	res, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "full" || res.Records != n {
+		t.Fatalf("first checkpoint = %+v, want full with %d records", res, n)
+	}
+
+	// Dirty 3 of the 100, delete a 4th.
+	for i, oid := range oids[:3] {
+		commitOne(t, s, lock.TxnID(1000+i), rec(oid, "C",
+			map[string]datum.Value{"v": datum.Int(int64(-1 - i))}))
+	}
+	s.Put(2000, Record{OID: oids[50], Class: "C", Deleted: true})
+	if err := s.CommitTop(2000); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "delta" || res.Records != 4 {
+		t.Fatalf("delta checkpoint = %+v, want delta with 4 records", res)
+	}
+	if res.Reclaimed == 0 {
+		t.Fatal("delta checkpoint reclaimed no WAL bytes")
+	}
+	st := s.Stats()
+	if st.FullCheckpoints != 1 || st.DeltaCheckpoints != 1 {
+		t.Fatalf("stats: %d full, %d delta", st.FullCheckpoints, st.DeltaCheckpoints)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The delta file itself must hold exactly the 4 records.
+	sn, err := readSnapshotFile(filepath.Join(dir, deltaName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.kind != snapKindDelta || len(sn.recs) != 4 {
+		t.Fatalf("delta file: kind %d, %d recs", sn.kind, len(sn.recs))
+	}
+	tombs := 0
+	for _, r := range sn.recs {
+		if r.Deleted {
+			tombs++
+			if r.OID != oids[50] {
+				t.Fatalf("tombstone for %v, want %v", r.OID, oids[50])
+			}
+		}
+	}
+	if tombs != 1 {
+		t.Fatalf("delta holds %d tombstones, want 1", tombs)
+	}
+
+	// Recovery folds the delta over the full snapshot.
+	s2, err := Open(newTopo(), Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i, oid := range oids {
+		got, ok := s2.Get(0, oid)
+		switch {
+		case i < 3:
+			if !ok || got.Attrs["v"].AsInt() != int64(-1-i) {
+				t.Fatalf("oid %v: lost delta update", oid)
+			}
+		case i == 50:
+			if ok {
+				t.Fatalf("oid %v: resurrected after tombstoned delta", oid)
+			}
+		default:
+			if !ok || got.Attrs["v"].AsInt() != int64(i) {
+				t.Fatalf("oid %v: lost base value", oid)
+			}
+		}
+	}
+}
+
+// TestCompactionEveryK checks the chain cadence with CompactEvery=2:
+// full, delta, delta, full (compaction), and that compaction removes
+// the now-subsumed delta files.
+func TestCompactionEveryK(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(newTopo(), Options{Dir: dir, NoSync: true, CompactEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	wantKinds := []string{"full", "delta", "delta", "full"}
+	for i, want := range wantKinds {
+		oid := s.AllocOID()
+		commitOne(t, s, lock.TxnID(i+1), rec(oid, "C",
+			map[string]datum.Value{"v": datum.Int(int64(i))}))
+		res, err := s.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Kind != want {
+			t.Fatalf("checkpoint %d kind = %q, want %q", i, res.Kind, want)
+		}
+	}
+	if names, _, err := deltaFiles(dir); err != nil || len(names) != 0 {
+		t.Fatalf("delta files after compaction: %v (err %v)", names, err)
+	}
+	st := s.Stats()
+	if st.FullCheckpoints != 2 || st.DeltaCheckpoints != 2 {
+		t.Fatalf("stats: %d full, %d delta", st.FullCheckpoints, st.DeltaCheckpoints)
+	}
+}
+
+// TestIdleDeltaCheckpointIsNoop: with nothing committed since the
+// last checkpoint and the watermark unmoved, a checkpoint must not
+// extend the chain.
+func TestIdleDeltaCheckpointIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(newTopo(), Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	commitOne(t, s, 1, rec(s.AllocOID(), "C", map[string]datum.Value{"v": datum.Int(1)}))
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "delta" || res.Records != 0 || res.Reclaimed != 0 {
+		t.Fatalf("idle checkpoint = %+v, want empty delta", res)
+	}
+	if names, _, err := deltaFiles(dir); err != nil || len(names) != 0 {
+		t.Fatalf("idle checkpoint wrote chain files: %v (err %v)", names, err)
+	}
+}
+
+// TestSizeTriggeredCheckpoint: with CheckpointAfterBytes set, commits
+// alone must eventually run a background checkpoint — no timer, no
+// manual call — and wal_bytes_reclaimed must advance.
+func TestSizeTriggeredCheckpoint(t *testing.T) {
+	var mu sync.Mutex
+	var asyncErrs []error
+	dir := t.TempDir()
+	s, err := Open(newTopo(), Options{Dir: dir, NoSync: true,
+		CheckpointAfterBytes: 2048,
+		OnAsyncError: func(err error) {
+			mu.Lock()
+			asyncErrs = append(asyncErrs, err)
+			mu.Unlock()
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 1; s.Stats().Checkpoints == 0; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("no size-triggered checkpoint after 10s of commits")
+		}
+		oid := s.AllocOID()
+		commitOne(t, s, lock.TxnID(i), rec(oid, "C",
+			map[string]datum.Value{"pad": datum.Str("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")}))
+	}
+	if err := s.Close(); err != nil { // waits for the background checkpoint
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, err := range asyncErrs {
+		t.Errorf("async checkpoint error: %v", err)
+	}
+	if st := s.Stats(); st.WALBytesReclaimed == 0 {
+		t.Error("size-triggered checkpoint reclaimed no WAL bytes")
+	}
+}
+
+// TestInspectSnapshot drives the offline inspector over a real chain:
+// the full snapshot, a delta (whose parent link must match the full
+// file's trailing CRC), and a deliberately corrupted copy.
+func TestInspectSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(newTopo(), Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitOne(t, s, 1, rec(s.AllocOID(), "C", map[string]datum.Value{"v": datum.Int(1)}))
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	commitOne(t, s, 2, rec(s.AllocOID(), "C", map[string]datum.Value{"v": datum.Int(2)}))
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fullPath := filepath.Join(dir, fullSnapshotName)
+	full, err := InspectSnapshotFile(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Kind != "full" || !full.CRCOK || full.Records != 1 {
+		t.Fatalf("full inspect = %+v", full)
+	}
+	delta, err := InspectSnapshotFile(filepath.Join(dir, deltaName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Kind != "delta" || !delta.CRCOK || delta.Records != 1 {
+		t.Fatalf("delta inspect = %+v", delta)
+	}
+	if delta.ParentWatermark != full.Watermark || delta.ParentCRC != full.CRC {
+		t.Fatalf("delta parent link (%d, %08x) does not match full (%d, %08x)",
+			delta.ParentWatermark, delta.ParentCRC, full.Watermark, full.CRC)
+	}
+
+	// Flip a body byte: the inspector still reads the header but
+	// reports the CRC mismatch instead of failing.
+	buf, err := os.ReadFile(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-5] ^= 0xff
+	bad := filepath.Join(dir, "corrupt")
+	if err := os.WriteFile(bad, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err := InspectSnapshotFile(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CRCOK {
+		t.Fatal("inspector missed a corrupted body")
+	}
+}

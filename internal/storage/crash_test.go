@@ -22,6 +22,7 @@ import (
 // taken at a failpoint inside the operation under test.
 type crashCapture struct {
 	wal, snapshot []byte
+	deltas        map[string][]byte
 	// acked is each object's newest acknowledged value BEFORE the
 	// files were read; attempted is each object's newest attempted
 	// value AFTER. Together they bracket the recovered state:
@@ -30,15 +31,31 @@ type crashCapture struct {
 }
 
 // crashSites are the failpoints the matrix samples: the WAL append
-// and fsync paths, and the three danger windows of the checkpointer
-// (snapshot written but not fsynced/renamed; renamed but directory
-// not synced; everything durable but the WAL not yet truncated).
+// and fsync paths, the three danger windows of the full-snapshot
+// path (written but not fsynced/renamed; renamed but directory not
+// synced; everything durable but the WAL not yet truncated), and the
+// delta-chain windows (mid-delta write, delta renamed but WAL not
+// truncated, full snapshot renamed but stale deltas not yet removed).
 var crashSites = []string{
 	"wal.afterAppend",
 	"wal.afterFsync",
 	"storage.midSnapshot",
 	"storage.afterRename",
 	"storage.beforeTruncate",
+	"storage.midDelta",
+	"storage.afterDeltaRename",
+	"storage.midCompaction",
+}
+
+// ckptSite reports whether a site fires at most once per checkpoint
+// (so its hit budget must stay small to bound wall-clock time).
+func ckptSite(site string) bool {
+	switch site {
+	case "storage.midSnapshot", "storage.afterRename", "storage.beforeTruncate",
+		"storage.midDelta", "storage.afterDeltaRename", "storage.midCompaction":
+		return true
+	}
+	return false
 }
 
 // TestCrashInjectionMatrix samples ~50 crash points from a seeded
@@ -59,18 +76,25 @@ func TestCrashInjectionMatrix(t *testing.T) {
 		// need a full multi-fsync checkpoint per hit, so keep their
 		// counts low to bound wall-clock time.
 		hits := 1 + rng.Intn(10)
-		if site == "storage.midSnapshot" || site == "storage.afterRename" || site == "storage.beforeTruncate" {
+		if ckptSite(site) {
 			hits = 1 + rng.Intn(3)
 		}
-		t.Run(fmt.Sprintf("r%02d-%s-hit%d", r, site, hits), func(t *testing.T) {
-			runCrashRound(t, site, hits)
+		// Vary the chain shape: mostly-delta chains, frequent
+		// compactions, and (except for the compaction site, which
+		// needs compactions to fire at all) chains that never compact.
+		compactEvery := []int{2, 4, 1000}[rng.Intn(3)]
+		if site == "storage.midCompaction" && compactEvery > 4 {
+			compactEvery = 2
+		}
+		t.Run(fmt.Sprintf("r%02d-%s-hit%d-k%d", r, site, hits, compactEvery), func(t *testing.T) {
+			runCrashRound(t, site, hits, compactEvery)
 		})
 	}
 }
 
-func runCrashRound(t *testing.T, site string, hits int) {
+func runCrashRound(t *testing.T, site string, hits, compactEvery int) {
 	dir := t.TempDir()
-	s, err := Open(newTopo(), Options{Dir: dir})
+	s, err := Open(newTopo(), Options{Dir: dir, CompactEvery: compactEvery})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,22 +110,34 @@ func runCrashRound(t *testing.T, site string, hits int) {
 	// doCapture freezes "the crash". Read order is load-bearing:
 	// acked before the files (a commit acknowledged before the copy
 	// began is certainly on disk in the copy — one-sided lower bound),
-	// the WAL before the snapshot (snapshot coverage only grows, and
-	// the checkpointer truncates the WAL only after the snapshot
-	// rename, so a later snapshot always covers an earlier WAL's
-	// base), and attempted after everything (an upper bound on any
+	// the WAL before the chain files (chain coverage only grows, and
+	// the checkpointer truncates the WAL only after the covering
+	// element's rename, so a later chain always covers an earlier
+	// WAL's base), deltas before the full snapshot (a compaction
+	// racing the copy then yields a *newer* full snapshot whose
+	// coverage subsumes the stale deltas — which its CRC link makes
+	// recovery ignore — never an older one missing the deltas'
+	// coverage), and attempted after everything (an upper bound on any
 	// value the copied files can hold). It runs on whatever goroutine
 	// hit the failpoint — possibly holding WAL or checkpoint internals
 	// — so it must not call back into the store.
 	doCapture := func() {
 		capOnce.Do(func() {
-			c := &crashCapture{acked: map[datum.OID]int64{}, attempted: map[datum.OID]int64{}}
+			c := &crashCapture{acked: map[datum.OID]int64{}, attempted: map[datum.OID]int64{},
+				deltas: map[string][]byte{}}
 			mu.Lock()
 			for k, v := range acked {
 				c.acked[k] = v
 			}
 			mu.Unlock()
 			c.wal, _ = os.ReadFile(filepath.Join(dir, "wal"))
+			if names, _, err := deltaFiles(dir); err == nil {
+				for _, name := range names {
+					if buf, err := os.ReadFile(filepath.Join(dir, name)); err == nil {
+						c.deltas[name] = buf
+					}
+				}
+			}
 			c.snapshot, _ = os.ReadFile(filepath.Join(dir, "snapshot"))
 			mu.Lock()
 			for k, v := range attempted {
@@ -166,7 +202,7 @@ func runCrashRound(t *testing.T, site string, hits int) {
 
 	select {
 	case <-captured:
-	case <-time.After(3 * time.Second):
+	case <-time.After(8 * time.Second):
 		// The site never accumulated enough hits under this workload;
 		// crash at an arbitrary instant instead — still a valid sample.
 		doCapture()
@@ -191,6 +227,11 @@ func runCrashRound(t *testing.T, site string, hits int) {
 	}
 	if cap.snapshot != nil {
 		if err := os.WriteFile(filepath.Join(cdir, "snapshot"), cap.snapshot, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, buf := range cap.deltas {
+		if err := os.WriteFile(filepath.Join(cdir, name), buf, 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -222,6 +263,33 @@ func runCrashRound(t *testing.T, site string, hits int) {
 		}
 		return true
 	})
+}
+
+// TestDeltaChainCrashSites drives each delta-chain danger window
+// directly, with enough checkpoints first that the crash lands on a
+// chain of >= 3 deltas while committers are running: mid-delta write
+// (tmp exists, rename pending), delta renamed but WAL not truncated,
+// and mid-compaction (new full snapshot renamed, stale deltas still
+// on disk). Recovery must still satisfy the acknowledged-commit
+// bracket.
+func TestDeltaChainCrashSites(t *testing.T) {
+	cases := []struct {
+		site               string
+		hits, compactEvery int
+	}{
+		// The chain never compacts; the fifth delta write crashes with
+		// deltas 1-4 durable.
+		{"storage.midDelta", 5, 1000},
+		{"storage.afterDeltaRename", 5, 1000},
+		// Hit 1 is the initial full snapshot; hit 2 is the compaction
+		// after deltas 1-3, crashing before their removal.
+		{"storage.midCompaction", 2, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.site, func(t *testing.T) {
+			runCrashRound(t, c.site, c.hits, c.compactEvery)
+		})
+	}
 }
 
 // TestSnapshotCrashBetweenWriteAndRename is the regression test for
@@ -308,12 +376,15 @@ func TestCheckpointedSnapshotIsTaggedAndVerifiable(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	reclaimed, err := s.Checkpoint()
+	res, err := s.Checkpoint()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if reclaimed == 0 {
+	if res.Reclaimed == 0 {
 		t.Fatal("checkpoint reclaimed no WAL bytes")
+	}
+	if res.Kind != "full" || res.Records != 3 {
+		t.Fatalf("first checkpoint = %+v, want full with 3 records", res)
 	}
 	base := s.log.Base()
 	if err := s.Close(); err != nil {
@@ -323,18 +394,22 @@ func TestCheckpointedSnapshotIsTaggedAndVerifiable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	watermark, nextOID, recs, err := decodeSnapshot(buf)
+	sn, err := decodeSnapshot(buf)
 	if err != nil {
 		t.Fatalf("snapshot does not verify: %v", err)
 	}
-	if watermark != base {
-		t.Fatalf("snapshot watermark %d != wal base %d", watermark, base)
+	if sn.kind != snapKindFull {
+		t.Fatalf("snapshot kind = %d, want full", sn.kind)
 	}
-	if len(recs) != 3 || nextOID != 4 {
-		t.Fatalf("snapshot holds %d recs, nextOID %d", len(recs), nextOID)
+	if sn.watermark != base {
+		t.Fatalf("snapshot watermark %d != wal base %d", sn.watermark, base)
+	}
+	if len(sn.recs) != 3 || sn.nextOID != 4 {
+		t.Fatalf("snapshot holds %d recs, nextOID %d", len(sn.recs), sn.nextOID)
 	}
 	st := s.Stats()
-	if st.Checkpoints != 1 || st.WALBytesReclaimed != reclaimed {
-		t.Fatalf("stats: %d checkpoints, %d reclaimed", st.Checkpoints, st.WALBytesReclaimed)
+	if st.Checkpoints != 1 || st.FullCheckpoints != 1 || st.WALBytesReclaimed != res.Reclaimed {
+		t.Fatalf("stats: %d checkpoints (%d full), %d reclaimed",
+			st.Checkpoints, st.FullCheckpoints, st.WALBytesReclaimed)
 	}
 }

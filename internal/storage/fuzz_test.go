@@ -42,26 +42,65 @@ func FuzzDecodeRedo(f *testing.F) {
 }
 
 func FuzzSnapshotLoad(f *testing.F) {
-	f.Add(encodeSnapshot(0, 1, nil))
-	f.Add(encodeSnapshot(12345, 42, fuzzSeedRecords()))
+	f.Add(encodeSnapshot(&snapshot{watermark: 0, nextOID: 1}))
+	f.Add(encodeSnapshot(&snapshot{watermark: 12345, nextOID: 42, recs: fuzzSeedRecords()}))
 	f.Add([]byte(snapshotMagic))
+	f.Add([]byte(snapshotMagicV1))
 	f.Add([]byte{})
-	corrupt := encodeSnapshot(7, 9, fuzzSeedRecords())
+	corrupt := encodeSnapshot(&snapshot{watermark: 7, nextOID: 9, recs: fuzzSeedRecords()})
 	corrupt[len(corrupt)-1] ^= 0xff // bad CRC
 	f.Add(corrupt)
 	f.Fuzz(func(t *testing.T, buf []byte) {
-		watermark, nextOID, recs, err := decodeSnapshot(buf)
+		sn, err := decodeSnapshot(buf)
 		if err != nil {
 			return
 		}
-		enc := encodeSnapshot(watermark, nextOID, recs)
-		w2, o2, r2, err := decodeSnapshot(enc)
+		again, err := decodeSnapshot(encodeSnapshot(sn))
 		if err != nil {
 			t.Fatalf("re-decode of re-encoded snapshot failed: %v", err)
 		}
-		if w2 != watermark || o2 != nextOID || len(r2) != len(recs) {
-			t.Fatalf("round trip changed header: (%d,%d,%d) -> (%d,%d,%d)",
-				watermark, nextOID, len(recs), w2, o2, len(r2))
+		if again.kind != sn.kind || again.watermark != sn.watermark ||
+			again.nextOID != sn.nextOID || len(again.recs) != len(sn.recs) {
+			t.Fatalf("round trip changed header: (%d,%d,%d,%d) -> (%d,%d,%d,%d)",
+				sn.kind, sn.watermark, sn.nextOID, len(sn.recs),
+				again.kind, again.watermark, again.nextOID, len(again.recs))
+		}
+	})
+}
+
+// FuzzDeltaSnapshot exercises the delta-specific surface: the kind
+// byte, the parent chain link (watermark + CRC), and the record
+// frames behind them. Valid inputs must round-trip exactly —
+// including the chain link, which recovery compares bit-for-bit — and
+// the lenient header inspector must agree with the strict decoder on
+// everything it reports.
+func FuzzDeltaSnapshot(f *testing.F) {
+	f.Add(encodeSnapshot(&snapshot{kind: snapKindDelta, watermark: 100, nextOID: 10,
+		parentWatermark: 40, parentCRC: 0xdeadbeef, recs: fuzzSeedRecords()}))
+	f.Add(encodeSnapshot(&snapshot{kind: snapKindDelta, watermark: 1, nextOID: 1,
+		parentWatermark: 1, parentCRC: 0}))
+	valid := encodeSnapshot(&snapshot{kind: snapKindDelta, watermark: 55, nextOID: 5,
+		parentWatermark: 54, parentCRC: 7, recs: fuzzSeedRecords()})
+	f.Add(valid[:len(valid)/2]) // truncated mid-frame
+	badLink := append([]byte(nil), valid...)
+	badLink[len(snapshotMagic)+3] ^= 0x55 // perturb the chain link
+	f.Add(badLink)
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		sn, err := decodeSnapshot(buf)
+		if err != nil {
+			return
+		}
+		if sn.kind != snapKindFull && sn.kind != snapKindDelta {
+			t.Fatalf("decoder accepted kind %d", sn.kind)
+		}
+		again, err := decodeSnapshot(encodeSnapshot(sn))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded snapshot failed: %v", err)
+		}
+		if again.kind != sn.kind || again.watermark != sn.watermark ||
+			again.parentWatermark != sn.parentWatermark || again.parentCRC != sn.parentCRC ||
+			len(again.recs) != len(sn.recs) {
+			t.Fatal("round trip changed delta header or chain link")
 		}
 	})
 }

@@ -20,7 +20,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -69,10 +68,15 @@ type chain struct {
 	versions []version // oldest first; at most one per owner
 }
 
+// DefaultCompactEvery is the delta-chain length bound when Options
+// leaves CompactEvery zero: after this many delta checkpoints the next
+// checkpoint rewrites a full snapshot and drops the chain.
+const DefaultCompactEvery = 8
+
 // Options configures a Store.
 type Options struct {
-	// Dir is the durability directory (snapshot + WAL). Empty means
-	// ephemeral: no logging, no recovery.
+	// Dir is the durability directory (snapshot chain + WAL). Empty
+	// means ephemeral: no logging, no recovery.
 	Dir string
 	// NoSync disables fsync on the WAL.
 	NoSync bool
@@ -80,6 +84,19 @@ type Options struct {
 	// dwells this long before snapshotting the batch. 0 flushes
 	// immediately (batching still happens whenever commits overlap).
 	GroupWindow time.Duration
+	// CheckpointAfterBytes, when >0, kicks a background checkpoint
+	// whenever the WAL has grown by at least this many bytes since the
+	// last checkpoint finished. The check runs after each commit's
+	// group flush; the checkpoint itself runs on its own goroutine so
+	// the triggering commit is never stalled.
+	CheckpointAfterBytes uint64
+	// CompactEvery bounds the delta chain: after this many delta
+	// checkpoints, the next Checkpoint writes a full snapshot and
+	// drops the chain. 0 means DefaultCompactEvery.
+	CompactEvery int
+	// OnAsyncError receives errors from background (size-triggered)
+	// checkpoints. nil discards them.
+	OnAsyncError func(error)
 	// Obs, when non-nil, receives WAL fsync latencies, group-commit
 	// batch sizes, and commit-stall latencies.
 	Obs *obs.Metrics
@@ -110,13 +127,42 @@ type Store struct {
 	inflight map[wal.LSN]struct{}
 
 	// ckptMu serializes checkpoints (they are rare; overlapping ones
-	// would race on snapshot.tmp).
+	// would race on snapshot.tmp and the chain-link state below, which
+	// it also guards).
 	ckptMu sync.Mutex
+	// ckptDirty maps each OID committed since the last checkpoint to
+	// the class of its newest committed write — the record set of the
+	// next delta snapshot. Written in CommitTop's install phase and in
+	// applyRedo (replayed records are newer than the on-disk chain)
+	// under s.mu; read and reset by the checkpointer.
+	ckptDirty map[datum.OID]string
+	// Chain-link state for the next checkpoint, guarded by ckptMu:
+	// the tip element's watermark and trailing CRC, whether a full
+	// snapshot exists (a delta needs a parent), and the sequence
+	// number of the newest chain element (reset by compaction).
+	chainWatermark wal.LSN
+	chainCRC       uint32
+	haveFull       bool
+	deltaSeq       int
+	compactEvery   int
+
+	// Size-trigger state: lastCkptEnd is the log end when the last
+	// checkpoint finished (growth beyond ckptAfterBytes kicks a
+	// background checkpoint). bgMu orders kicks against Close so the
+	// WaitGroup is never Added after Close begins waiting.
+	ckptAfterBytes uint64
+	lastCkptEnd    atomic.Uint64
+	onAsyncErr     func(error)
+	bgMu           sync.Mutex
+	bgRunning      bool
+	closing        bool
+	bgWG           sync.WaitGroup
 
 	// Counters are atomic: reads (Get/Scan) bump them while holding
 	// only the read lock.
 	nPuts, nGets, nScans, nProbes, nCommits, nWALBytes atomic.Uint64
-	nCheckpoints, nWALReclaimed                        atomic.Uint64
+	nCheckpoints, nFullCkpts, nDeltaCkpts              atomic.Uint64
+	nWALReclaimed                                      atomic.Uint64
 }
 
 // Stats counts store activity.
@@ -133,27 +179,40 @@ type Stats struct {
 	WALFsyncs       uint64
 	WALSyncRequests uint64
 	// Checkpoints counts completed fuzzy checkpoints;
-	// WALBytesReclaimed totals the log bytes they truncated away.
+	// FullCheckpoints/DeltaCheckpoints split them by kind (a full
+	// checkpoint rewrites the whole committed tier and compacts the
+	// delta chain; a delta writes only the OIDs dirtied since the last
+	// checkpoint). WALBytesReclaimed totals the log bytes truncated.
 	Checkpoints       uint64
+	FullCheckpoints   uint64
+	DeltaCheckpoints  uint64
 	WALBytesReclaimed uint64
 }
 
 // Open creates a store. If opts.Dir is non-empty the store loads the
-// checkpoint snapshot (if present), replays the WAL, and will log all
-// future top-level commits there.
+// snapshot chain (full snapshot plus deltas, if present), replays the
+// WAL, and will log all future top-level commits there.
 func Open(topo Topology, opts Options) (*Store, error) {
+	compactEvery := opts.CompactEvery
+	if compactEvery <= 0 {
+		compactEvery = DefaultCompactEvery
+	}
 	s := &Store{
-		topo:     topo,
-		objects:  map[datum.OID]*chain{},
-		extents:  map[string]map[datum.OID]struct{}{},
-		indexes:  map[string]map[string]*btree.Tree{},
-		dirty:    map[lock.TxnID]map[datum.OID]struct{}{},
-		modSeq:   map[string]uint64{},
-		inflight: map[wal.LSN]struct{}{},
-		nextOID:  1,
-		dir:      opts.Dir,
-		noSync:   opts.NoSync,
-		obsm:     opts.Obs,
+		topo:           topo,
+		objects:        map[datum.OID]*chain{},
+		extents:        map[string]map[datum.OID]struct{}{},
+		indexes:        map[string]map[string]*btree.Tree{},
+		dirty:          map[lock.TxnID]map[datum.OID]struct{}{},
+		modSeq:         map[string]uint64{},
+		inflight:       map[wal.LSN]struct{}{},
+		ckptDirty:      map[datum.OID]string{},
+		compactEvery:   compactEvery,
+		ckptAfterBytes: opts.CheckpointAfterBytes,
+		onAsyncErr:     opts.OnAsyncError,
+		nextOID:        1,
+		dir:            opts.Dir,
+		noSync:         opts.NoSync,
+		obsm:           opts.Obs,
 	}
 	if opts.Dir == "" {
 		return s, nil
@@ -161,7 +220,7 @@ func Open(topo Topology, opts Options) (*Store, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: mkdir %s: %w", opts.Dir, err)
 	}
-	watermark, err := s.loadSnapshot(filepath.Join(opts.Dir, "snapshot"))
+	watermark, err := s.loadChain()
 	if err != nil {
 		return nil, err
 	}
@@ -191,11 +250,20 @@ func Open(topo Topology, opts Options) (*Store, error) {
 		l.Close()
 		return nil, fmt.Errorf("storage: recovery: %w", err)
 	}
+	// Seed the size trigger at the chain watermark, not the log end:
+	// a WAL suffix surviving from before the crash counts as growth,
+	// so an over-threshold backlog checkpoints on the first commit.
+	s.lastCkptEnd.Store(uint64(watermark))
 	return s, nil
 }
 
-// Close closes the WAL, if any.
+// Close waits out any background (size-triggered) checkpoint, then
+// closes the WAL, if any.
 func (s *Store) Close() error {
+	s.bgMu.Lock()
+	s.closing = true
+	s.bgMu.Unlock()
+	s.bgWG.Wait()
 	if s.log != nil {
 		return s.log.Close()
 	}
@@ -419,6 +487,8 @@ func (s *Store) Stats() Stats {
 		WALBytes:    s.nWALBytes.Load(),
 	}
 	st.Checkpoints = s.nCheckpoints.Load()
+	st.FullCheckpoints = s.nFullCkpts.Load()
+	st.DeltaCheckpoints = s.nDeltaCkpts.Load()
 	st.WALBytesReclaimed = s.nWALReclaimed.Load()
 	if s.log != nil {
 		st.WALFsyncs = s.log.Fsyncs()
@@ -553,6 +623,12 @@ func (s *Store) CommitTop(tx lock.TxnID) error {
 	s.mu.Lock()
 	for _, rec := range recs {
 		s.installCommitted(tx, rec)
+		if s.dir != "" {
+			// Mark for the next delta snapshot. The mark rides the
+			// same critical section as the install, so a checkpoint
+			// scan sees the version and the mark together or neither.
+			s.ckptDirty[rec.OID] = rec.Class
+		}
 	}
 	delete(s.dirty, tx)
 	if logged {
@@ -563,7 +639,41 @@ func (s *Store) CommitTop(tx lock.TxnID) error {
 		s.cmu.Unlock()
 	}
 	s.mu.Unlock()
+	if logged {
+		s.maybeKickCheckpoint()
+	}
 	return nil
+}
+
+// maybeKickCheckpoint starts a background checkpoint when the WAL has
+// grown past the configured byte threshold since the last one. At most
+// one background checkpoint runs at a time, and none may start once
+// Close has begun.
+func (s *Store) maybeKickCheckpoint() {
+	if s.ckptAfterBytes == 0 || s.log == nil {
+		return
+	}
+	if uint64(s.log.End())-s.lastCkptEnd.Load() < s.ckptAfterBytes {
+		return
+	}
+	s.bgMu.Lock()
+	if s.closing || s.bgRunning {
+		s.bgMu.Unlock()
+		return
+	}
+	s.bgRunning = true
+	s.bgWG.Add(1)
+	s.bgMu.Unlock()
+	go func() {
+		defer s.bgWG.Done()
+		_, err := s.Checkpoint()
+		s.bgMu.Lock()
+		s.bgRunning = false
+		s.bgMu.Unlock()
+		if err != nil && s.onAsyncErr != nil {
+			s.onAsyncErr(fmt.Errorf("storage: size-triggered checkpoint: %w", err))
+		}
+	}()
 }
 
 // installCommitted replaces the committed version of rec's object
@@ -730,35 +840,67 @@ func (s *Store) applyRedo(payload []byte) error {
 			s.nextOID = rec.OID + 1
 		}
 		s.installCommitted(committedOwner, rec)
+		// Replayed records are newer than the on-disk chain (their
+		// LSNs are at or above its watermark), so the next delta must
+		// carry them.
+		s.ckptDirty[rec.OID] = rec.Class
 	}
 	return nil
 }
 
-// Checkpoint performs one fuzzy (non-quiescent) checkpoint: it
-// captures the committed tier plus a watermark LSN under the read
-// lock, writes an fsynced, LSN-tagged snapshot, atomically renames it
-// into place, and truncates the WAL prefix the snapshot covers. It
-// returns the number of log bytes reclaimed.
+// CheckpointResult describes one completed checkpoint.
+type CheckpointResult struct {
+	// Kind is "full" (whole committed tier, chain compacted) or
+	// "delta" (only the OIDs dirtied since the last checkpoint).
+	Kind string `json:"kind"`
+	// Records is the number of records written to the chain element.
+	Records int `json:"records"`
+	// Reclaimed is the number of WAL bytes truncated away.
+	Reclaimed uint64 `json:"reclaimed"`
+}
+
+// Checkpoint performs one fuzzy (non-quiescent) checkpoint. It is
+// incremental and demand-driven: when a full snapshot already exists
+// and the delta chain is shorter than CompactEvery, it writes a
+// *delta* snapshot holding only the records committed since the last
+// checkpoint — O(dirty), not O(store) — chained to its parent by the
+// parent's watermark LSN and CRC. Every CompactEvery deltas (or on
+// the first checkpoint of a directory, or via Compact) it rewrites a
+// full snapshot and drops the chain. Either way it then truncates the
+// WAL prefix the chain covers.
 //
 // Commits proceed concurrently: the only store lock taken is a read
 // lock for the in-memory scan, and the WAL keeps accepting appends
 // except during the (short) suffix copy inside TruncateBefore.
 //
 // The watermark invariant makes this safe: every committed record is
-// either in the snapshot or at LSN >= watermark. The watermark is the
+// either in the chain or at LSN >= watermark. The watermark is the
 // smallest in-flight LSN (appended but not yet installed), or the log
 // end if none: a record below it was installed before the scan (the
 // read lock blocks installs mid-scan, and deregistration happens only
-// after install), so the scan saw it; anything at or above survives
-// TruncateBefore(watermark) and is replayed over the snapshot on
-// recovery.
-func (s *Store) Checkpoint() (uint64, error) {
+// after install), so the scan saw it — in the dirty set if it landed
+// after the previous checkpoint, in an older chain element otherwise;
+// anything at or above survives TruncateBefore(watermark) and is
+// replayed over the chain on recovery.
+func (s *Store) Checkpoint() (CheckpointResult, error) {
+	return s.checkpoint(false)
+}
+
+// Compact forces the next checkpoint to be full: it rewrites the
+// whole committed tier as a fresh snapshot and drops the delta chain.
+func (s *Store) Compact() (CheckpointResult, error) {
+	return s.checkpoint(true)
+}
+
+func (s *Store) checkpoint(forceFull bool) (CheckpointResult, error) {
 	if s.dir == "" {
-		return 0, nil
+		return CheckpointResult{}, nil
 	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 	tm := s.obsm.Timer(obs.HCheckpoint)
+
+	full := forceFull || !s.haveFull || s.deltaSeq >= s.compactEvery
 
 	s.mu.RLock()
 	var watermark wal.LSN
@@ -772,137 +914,134 @@ func (s *Store) Checkpoint() (uint64, error) {
 		}
 		s.cmu.Unlock()
 	}
-	recs := make([]Record, 0, len(s.objects))
-	for _, c := range s.objects {
-		for i := range c.versions {
-			if c.versions[i].owner == committedOwner {
-				recs = append(recs, c.versions[i].rec)
-				break
+	var recs []Record
+	if full {
+		recs = make([]Record, 0, len(s.objects))
+		for _, c := range s.objects {
+			for i := range c.versions {
+				if c.versions[i].owner == committedOwner {
+					recs = append(recs, c.versions[i].rec)
+					break
+				}
+			}
+		}
+	} else {
+		recs = make([]Record, 0, len(s.ckptDirty))
+		for oid, class := range s.ckptDirty {
+			if rec, ok := s.committedRecord(oid); ok {
+				recs = append(recs, rec)
+			} else {
+				// Deleted since the last checkpoint: the delta must
+				// carry the tombstone or recovery would resurrect the
+				// object from an older chain element.
+				recs = append(recs, Record{OID: oid, Class: class, Deleted: true})
 			}
 		}
 	}
+	// An empty delta at an unmoved watermark would extend the chain
+	// with nothing; skip the file but still attempt the truncate (a
+	// prior crash between rename and truncate leaves covered prefix
+	// to reclaim).
+	writeFile := full || len(recs) > 0 || watermark != s.chainWatermark
+	// Reset the dirty set: everything in it is in recs now. Installs
+	// are excluded while the read lock is held and checkpoints are
+	// serialized by ckptMu, so this write does not race. On any
+	// failure below the saved set is merged back — losing a mark
+	// would silently drop its record from every future delta.
+	taken := s.ckptDirty
+	s.ckptDirty = make(map[datum.OID]string, 8)
 	nextOID := s.nextOID
 	s.mu.RUnlock()
 	sort.Slice(recs, func(i, j int) bool { return recs[i].OID < recs[j].OID })
 
-	buf := encodeSnapshot(watermark, nextOID, recs)
-	tmp := filepath.Join(s.dir, "snapshot.tmp")
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return 0, fmt.Errorf("storage: create snapshot: %w", err)
-	}
-	if _, err := f.Write(buf); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("storage: write snapshot: %w", err)
-	}
-	failpoint.Hit("storage.midSnapshot")
-	// fsync before the rename: the rename must never install a
-	// snapshot whose bytes could still be lost by a power failure.
-	if !s.noSync {
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return 0, fmt.Errorf("storage: sync snapshot: %w", err)
+	restoreDirty := func() {
+		s.mu.Lock()
+		for oid, class := range taken {
+			if _, ok := s.ckptDirty[oid]; !ok {
+				s.ckptDirty[oid] = class
+			}
 		}
+		s.mu.Unlock()
 	}
-	if err := f.Close(); err != nil {
-		return 0, fmt.Errorf("storage: close snapshot: %w", err)
+
+	res := CheckpointResult{Kind: "delta", Records: len(recs)}
+	if full {
+		res.Kind = "full"
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, "snapshot")); err != nil {
-		return 0, fmt.Errorf("storage: install snapshot: %w", err)
-	}
-	failpoint.Hit("storage.afterRename")
-	if !s.noSync {
-		if err := syncDir(s.dir); err != nil {
-			return 0, err
+	if writeFile {
+		sn := &snapshot{watermark: watermark, nextOID: nextOID, recs: recs}
+		if full {
+			sn.kind = snapKindFull
+			if err := s.writeSnapshotFile(sn, fullSnapshotName, fullSnapshotName+".tmp",
+				"storage.midSnapshot", "storage.afterRename"); err != nil {
+				restoreDirty()
+				return res, err
+			}
+			// Compaction: the full snapshot subsumes the chain, so the
+			// delta files are dead weight. Stale elements surviving a
+			// crash here (or a failed remove) are harmless — their
+			// parent link no longer matches the new snapshot, so
+			// recovery ignores them, and future deltas overwrite them
+			// by rename as the sequence numbers restart.
+			failpoint.Hit("storage.midCompaction")
+			if names, _, err := deltaFiles(s.dir); err == nil {
+				for _, name := range names {
+					os.Remove(filepath.Join(s.dir, name))
+				}
+			}
+			s.haveFull = true
+			s.deltaSeq = 0
+			s.nFullCkpts.Add(1)
+		} else {
+			sn.kind = snapKindDelta
+			sn.parentWatermark = s.chainWatermark
+			sn.parentCRC = s.chainCRC
+			if err := s.writeSnapshotFile(sn, deltaName(s.deltaSeq+1), "delta.tmp",
+				"storage.midDelta", "storage.afterDeltaRename"); err != nil {
+				restoreDirty()
+				return res, err
+			}
+			s.deltaSeq++
+			s.nDeltaCkpts.Add(1)
+			s.obsm.ObserveN(obs.HDeltaRecords, uint64(len(recs)))
 		}
+		s.chainWatermark, s.chainCRC = watermark, sn.crc
 	}
+
 	failpoint.Hit("storage.beforeTruncate")
-	var reclaimed uint64
 	if s.log != nil {
-		// Only after the snapshot is durably in place may the covered
-		// prefix be dropped; crashing before this line recovers from
-		// the new snapshot plus the untruncated log.
-		reclaimed, err = s.log.TruncateBefore(watermark)
+		// Only after the chain element is durably in place may the
+		// covered prefix be dropped; crashing before this line
+		// recovers from the extended chain plus the untruncated log.
+		reclaimed, err := s.log.TruncateBefore(watermark)
 		if err != nil {
-			return 0, err
+			return res, err
+		}
+		res.Reclaimed = reclaimed
+		s.lastCkptEnd.Store(uint64(s.log.End()))
+	}
+	if writeFile || res.Reclaimed > 0 {
+		s.nCheckpoints.Add(1)
+		s.nWALReclaimed.Add(res.Reclaimed)
+		s.obsm.ObserveN(obs.HWALReclaimed, res.Reclaimed)
+	}
+	tm.Done()
+	return res, nil
+}
+
+// committedRecord returns oid's committed version. Caller holds s.mu
+// (read or write).
+func (s *Store) committedRecord(oid datum.OID) (Record, bool) {
+	c := s.objects[oid]
+	if c == nil {
+		return Record{}, false
+	}
+	for i := range c.versions {
+		if c.versions[i].owner == committedOwner {
+			return c.versions[i].rec, true
 		}
 	}
-	s.nCheckpoints.Add(1)
-	s.nWALReclaimed.Add(reclaimed)
-	s.obsm.ObserveN(obs.HWALReclaimed, reclaimed)
-	tm.Done()
-	return reclaimed, nil
-}
-
-// snapshotMagic tags the snapshot format: watermark-stamped, CRC'd.
-const snapshotMagic = "hipacsp1"
-
-// encodeSnapshot serializes a checkpoint: magic, watermark, next OID,
-// the committed records in redo form, and a trailing CRC-32 over
-// everything before it.
-func encodeSnapshot(watermark wal.LSN, nextOID datum.OID, recs []Record) []byte {
-	buf := append([]byte(nil), snapshotMagic...)
-	buf = binary.AppendUvarint(buf, uint64(watermark))
-	buf = binary.AppendUvarint(buf, uint64(nextOID))
-	buf = append(buf, encodeRedo(recs)...)
-	var crc [4]byte
-	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
-	return append(buf, crc[:]...)
-}
-
-// decodeSnapshot parses and verifies a snapshot produced by
-// encodeSnapshot.
-func decodeSnapshot(buf []byte) (wal.LSN, datum.OID, []Record, error) {
-	if len(buf) < len(snapshotMagic)+4 {
-		return 0, 0, nil, errors.New("storage: snapshot too short")
-	}
-	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
-	if string(body[:len(snapshotMagic)]) != snapshotMagic {
-		return 0, 0, nil, errors.New("storage: bad snapshot magic")
-	}
-	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
-		return 0, 0, nil, errors.New("storage: snapshot checksum mismatch")
-	}
-	n := len(snapshotMagic)
-	watermark, m := binary.Uvarint(body[n:])
-	if m <= 0 {
-		return 0, 0, nil, errors.New("storage: bad snapshot watermark")
-	}
-	n += m
-	nextOID, m := binary.Uvarint(body[n:])
-	if m <= 0 {
-		return 0, 0, nil, errors.New("storage: bad snapshot header")
-	}
-	n += m
-	recs, err := decodeRedo(body[n:])
-	if err != nil {
-		return 0, 0, nil, fmt.Errorf("storage: snapshot: %w", err)
-	}
-	return wal.LSN(watermark), datum.OID(nextOID), recs, nil
-}
-
-// loadSnapshot installs the snapshot at path, if present, and returns
-// its watermark: the LSN below which the snapshot covers every
-// committed record.
-func (s *Store) loadSnapshot(path string) (wal.LSN, error) {
-	buf, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return 0, nil
-	}
-	if err != nil {
-		return 0, fmt.Errorf("storage: read snapshot: %w", err)
-	}
-	watermark, nextOID, recs, err := decodeSnapshot(buf)
-	if err != nil {
-		return 0, err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextOID = nextOID
-	for _, rec := range recs {
-		s.installCommitted(committedOwner, rec)
-	}
-	return watermark, nil
+	return Record{}, false
 }
 
 // syncDir fsyncs a directory so a just-renamed entry survives a crash.
