@@ -604,6 +604,53 @@ func BenchmarkParallelCommit(b *testing.B) {
 	b.Run("wal-fsync", func(b *testing.B) { run(b, b.TempDir(), false) })
 }
 
+// BenchmarkParallelRead measures in-memory read throughput with
+// concurrent readers (run with -cpu 1,2,4,8 to sweep). "get" is pure
+// point reads; "mixed" adds one committed update per ten reads, with
+// writers touching a disjoint OID range so the benchmark measures
+// store/lock-manager contention rather than transaction conflicts.
+// Reader transactions are recycled every 512 operations to bound
+// lock-table growth.
+func BenchmarkParallelRead(b *testing.B) {
+	run := func(b *testing.B, writeEvery int) {
+		e, err := core.Open(core.Options{Clock: hipac.NewVirtualClock(workload.Epoch)})
+		mustB(b, err)
+		b.Cleanup(func() { e.Close() })
+		mustB(b, workload.DefineBase(e))
+		oids, err := workload.SeedStocks(e, 2048)
+		mustB(b, err)
+		readPool, writePool := oids[:1024], oids[1024:]
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			seq := int(next.Add(1))
+			wOID := writePool[(seq-1)%len(writePool)]
+			tx := e.Begin()
+			i := 0
+			for pb.Next() {
+				i++
+				if writeEvery > 0 && i%writeEvery == 0 {
+					wtx := e.Begin()
+					mustB(b, e.Modify(wtx, wOID, map[string]datum.Value{
+						"price": datum.Float(float64(i))}))
+					mustB(b, wtx.Commit())
+					continue
+				}
+				if i%512 == 0 {
+					mustB(b, tx.Commit())
+					tx = e.Begin()
+				}
+				oid := readPool[(i*31+seq*17)%len(readPool)]
+				_, err := e.Get(tx, oid)
+				mustB(b, err)
+			}
+			mustB(b, tx.Commit())
+		})
+	}
+	b.Run("get", func(b *testing.B) { run(b, 0) })
+	b.Run("mixed", func(b *testing.B) { run(b, 10) })
+}
+
 // BenchmarkCheckpointDuringCommits measures how much a running fuzzy
 // checkpointer perturbs the commit path (C14). Sub-runs toggle the
 // background checkpointer against the same parallel-commit workload;

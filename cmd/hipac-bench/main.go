@@ -4,7 +4,15 @@
 //
 // Usage:
 //
-//	hipac-bench [-run all|F41|F42|C1|...|C15] [-quick]
+//	hipac-bench [-run all|F41|F42|C1|...|C16] [-quick]
+//	           [-json out.json] [-compare baseline.json] [-regress-threshold 0.20]
+//
+// -json writes the metrics recorded during the run (today: C16's
+// parallel-scalability cells) as a flat name -> ns/op map; the
+// committed BENCH_5.json baseline is produced with `make
+// bench-baseline`. -compare re-measures and fails (exit 1) if any
+// metric shared with the baseline regressed beyond the threshold —
+// CI runs `-run C16 -quick -compare BENCH_5.json` as its bench smoke.
 package main
 
 import (
@@ -32,8 +40,11 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment id (F41, F42, C1..C14) or all")
+	run := flag.String("run", "all", "experiment id (F41, F42, C1..C16) or all")
 	quick := flag.Bool("quick", false, "smaller iteration counts")
+	jsonPath := flag.String("json", "", "write recorded metrics (name -> ns/op) to this file")
+	comparePath := flag.String("compare", "", "fail if recorded metrics regress beyond the threshold vs this baseline JSON")
+	threshold := flag.Float64("regress-threshold", 0.20, "relative slowdown tolerated by -compare")
 	flag.Parse()
 
 	ids := make([]string, 0, len(experiments))
@@ -60,6 +71,19 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *jsonPath != "" {
+		if err := writeBenchJSON(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if *comparePath != "" {
+		if err := compareBenchJSON(*comparePath, *threshold); err != nil {
+			fmt.Fprintf(os.Stderr, "bench regression gate: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 var titles = map[string]string{
@@ -80,6 +104,7 @@ var titles = map[string]string{
 	"C13": "parallel commit throughput under WAL group commit",
 	"C14": "commit latency under a running fuzzy checkpointer",
 	"C15": "commit p99 under size-triggered delta checkpoints",
+	"C16": "sharded-store parallel scalability: reads and commits at 1 and 8 procs",
 }
 
 var experiments = map[string]func(quick bool) error{
@@ -87,7 +112,7 @@ var experiments = map[string]func(quick bool) error{
 	"C1": expC1, "C2": expC2, "C3": expC3, "C4": expC4,
 	"C5": expC5, "C6": expC6, "C7": expC7, "C8": expC8,
 	"C9": expC9, "C10": expC10, "C11": expC11, "C12": expC12,
-	"C13": expC13, "C14": expC14, "C15": expC15,
+	"C13": expC13, "C14": expC14, "C15": expC15, "C16": expC16,
 }
 
 // measure warms the path up, then runs fn iters times and returns

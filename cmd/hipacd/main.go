@@ -8,7 +8,7 @@
 //	hipacd [-addr 127.0.0.1:4815] [-dir /var/lib/hipac] [-nosync]
 //	       [-group-window 0] [-checkpoint-interval 0]
 //	       [-checkpoint-after-bytes 0] [-checkpoint-compact-every 8]
-//	       [-metrics :9090]
+//	       [-store-shards 16] [-metrics :9090]
 //
 // With -metrics, an HTTP listener serves the engine's counters and
 // latency histograms in Prometheus text format at /metrics.
@@ -39,12 +39,14 @@ func main() {
 		"also checkpoint whenever the WAL grows this many bytes past the last checkpoint (0: disabled)")
 	ckptCompact := flag.Int("checkpoint-compact-every", 0,
 		"compact the delta chain into a full snapshot after this many deltas (0: default 8)")
+	shards := flag.Int("store-shards", 0,
+		"hash partitions of the in-memory heap, rounded up to a power of two (0: default 16)")
 	metrics := flag.String("metrics", "", "Prometheus /metrics listen address (empty: disabled)")
 	flag.Parse()
 
 	eng, err := core.Open(core.Options{Dir: *dir, NoSync: *nosync, GroupCommitWindow: *window,
 		CheckpointInterval: *ckptEvery, CheckpointAfterBytes: *ckptBytes,
-		CheckpointCompactEvery: *ckptCompact})
+		CheckpointCompactEvery: *ckptCompact, StoreShards: *shards})
 	if err != nil {
 		log.Fatalf("hipacd: open engine: %v", err)
 	}

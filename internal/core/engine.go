@@ -59,6 +59,11 @@ type Options struct {
 	// next checkpoint rewrites a full snapshot instead of appending
 	// another delta. 0 means storage.DefaultCompactEvery.
 	CheckpointCompactEvery int
+	// StoreShards is the number of hash partitions of the in-memory
+	// heap (rounded up to a power of two). More shards means less lock
+	// contention between parallel readers and committers; the on-disk
+	// format is unaffected. 0 means storage.DefaultShards.
+	StoreShards int
 	// Clock supplies time for temporal events; nil means the wall
 	// clock. Tests pass a *clock.Virtual.
 	Clock clock.Clock
@@ -134,6 +139,7 @@ func Open(opts Options) (*Engine, error) {
 		GroupWindow: opts.GroupCommitWindow, Obs: o.Metrics(),
 		CheckpointAfterBytes: opts.CheckpointAfterBytes,
 		CompactEvery:         opts.CheckpointCompactEvery,
+		Shards:               opts.StoreShards,
 		OnAsyncError:         sink.record})
 	if err != nil {
 		return nil, err

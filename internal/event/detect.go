@@ -3,6 +3,7 @@ package event
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -56,19 +57,38 @@ type sub struct {
 	conjSeen    []map[string]datum.Value
 }
 
+// indexSnapshot is an immutable copy of the subscription index,
+// republished whenever the index changes (Define/Delete — rare) and
+// read lock-free by every signal (hot). Slices and maps inside a
+// published snapshot are never mutated; the *sub pointers are shared
+// with the live index, and their mutable state (automata progress,
+// disabled/removed flags) is only touched under Detectors.mu.
+type indexSnapshot struct {
+	db  map[dbKey][]*sub
+	ext map[string][]*sub
+}
+
 // Detectors is the set of event detectors: database, temporal,
 // external, and the composite-event automata layered over them. It is
 // safe for concurrent use.
+//
+// Signalling is read-mostly: the subscription index is a copy-on-write
+// snapshot under an atomic pointer, so matching a DML signal against
+// the (usually empty) subscription set takes no lock at all. Only
+// delivery — which advances per-subscription automata — serializes
+// under mu.
 type Detectors struct {
-	mu      sync.Mutex
+	mu      sync.Mutex // guards subs, the live index maps, and all per-sub state
 	clk     clock.Clock
 	emit    Emit
 	nextSub SubID
 	subs    map[SubID]*sub
 	dbIndex map[dbKey][]*sub
 	extIdx  map[string][]*sub
-	stats   Stats
+	idx     atomic.Pointer[indexSnapshot]
 	obsm    *obs.Metrics // nil-safe emission-latency observer
+
+	nDBSignals, nExtSignals, nTemporal, nEmissions atomic.Uint64
 
 	asyncErr func(error) // errors from temporal firings (no caller to return to)
 }
@@ -80,7 +100,7 @@ func (d *Detectors) SetObserver(o *obs.Metrics) { d.obsm = o }
 // New returns detectors that report matched events to emit, using clk
 // for temporal events.
 func New(clk clock.Clock, emit Emit) *Detectors {
-	return &Detectors{
+	d := &Detectors{
 		clk:     clk,
 		emit:    emit,
 		nextSub: 1,
@@ -88,6 +108,24 @@ func New(clk clock.Clock, emit Emit) *Detectors {
 		dbIndex: map[dbKey][]*sub{},
 		extIdx:  map[string][]*sub{},
 	}
+	d.idx.Store(&indexSnapshot{})
+	return d
+}
+
+// publishLocked swaps in a fresh immutable snapshot of the index.
+// Caller holds d.mu and has just mutated dbIndex/extIdx.
+func (d *Detectors) publishLocked() {
+	snap := &indexSnapshot{
+		db:  make(map[dbKey][]*sub, len(d.dbIndex)),
+		ext: make(map[string][]*sub, len(d.extIdx)),
+	}
+	for k, list := range d.dbIndex {
+		snap.db[k] = append([]*sub(nil), list...)
+	}
+	for name, list := range d.extIdx {
+		snap.ext[name] = append([]*sub(nil), list...)
+	}
+	d.idx.Store(snap)
 }
 
 // SetAsyncErrorHandler installs a handler for errors raised by rule
@@ -108,6 +146,7 @@ func (d *Detectors) Define(spec Spec) (SubID, error) {
 	if err != nil {
 		return 0, err
 	}
+	d.publishLocked()
 	return s.id, nil
 }
 
@@ -199,7 +238,7 @@ func (d *Detectors) temporalFire(s *sub, periodic bool) {
 		d.mu.Unlock()
 		return
 	}
-	d.stats.TemporalFirings++
+	d.nTemporal.Add(1)
 	s.fireCount++
 	bindings := map[string]datum.Value{
 		"time":  datum.Time(d.clk.Now()),
@@ -211,8 +250,8 @@ func (d *Detectors) temporalFire(s *sub, periodic bool) {
 		s.timer = d.clk.AfterFunc(period, func() { d.temporalFire(s, true) })
 	}
 	d.deliverLocked(s, sig, &emits)
-	d.stats.Emissions += uint64(len(emits))
 	d.mu.Unlock()
+	d.nEmissions.Add(uint64(len(emits)))
 	if err := d.send(emits); err != nil && d.asyncErr != nil {
 		d.asyncErr(err)
 	}
@@ -350,29 +389,35 @@ func (d *Detectors) SignalDatabase(op Op, class string, tx lock.TxnID, bindings 
 		keys[1] = keys[2] // columns collapse pairwise
 		n /= 2
 	}
-	d.mu.Lock()
-	d.stats.DatabaseSignals++
+	d.nDBSignals.Add(1)
+	snap := d.idx.Load()
 	matched := 0
 	for _, k := range keys[:n] {
-		matched += len(d.dbIndex[k])
+		matched += len(snap.db[k])
 	}
 	if matched == 0 {
 		// Fast path: every DML operation signals here, but most ops
-		// have no subscribed rule. Skip the timestamp and emission
-		// machinery entirely.
-		d.mu.Unlock()
+		// have no subscribed rule. One atomic load and (usually) four
+		// empty map probes — no lock, no shared-cache-line write
+		// beyond the signal counter.
 		return nil
 	}
 	now := d.clk.Now()
 	var emits []emission
+	// Delivery advances composite automata, so it serializes under mu.
+	// The snapshot's sub lists may be stale relative to a concurrent
+	// Define/Delete: a just-added subscription is missed (the signal
+	// linearizes before the define) and a just-deleted one is skipped
+	// by deliverLocked's removed check.
+	d.mu.Lock()
 	for _, k := range keys[:n] {
-		for _, s := range d.dbIndex[k] {
+		for _, s := range snap.db[k] {
 			sig := Signal{Spec: s.spec, Time: now, Txn: tx, Bindings: bindings}
 			d.deliverLocked(s, sig, &emits)
 		}
 	}
-	d.stats.Emissions += uint64(len(emits))
 	d.mu.Unlock()
+	d.nEmissions.Add(uint64(len(emits)))
 	return d.send(emits)
 }
 
@@ -381,16 +426,21 @@ func (d *Detectors) SignalDatabase(op Op, class string, tx lock.TxnID, bindings 
 // with the occurrence (0 for none). Rule processing for immediate
 // couplings runs synchronously before SignalExternal returns.
 func (d *Detectors) SignalExternal(name string, tx lock.TxnID, args map[string]datum.Value) (int, error) {
+	d.nExtSignals.Add(1)
+	snap := d.idx.Load()
+	list := snap.ext[name]
+	if len(list) == 0 {
+		return 0, nil
+	}
 	now := d.clk.Now()
 	var emits []emission
 	d.mu.Lock()
-	d.stats.ExternalSignals++
-	for _, s := range d.extIdx[name] {
+	for _, s := range list {
 		sig := Signal{Spec: s.spec, Time: now, Txn: tx, Bindings: args}
 		d.deliverLocked(s, sig, &emits)
 	}
-	d.stats.Emissions += uint64(len(emits))
 	d.mu.Unlock()
+	d.nEmissions.Add(uint64(len(emits)))
 	return len(emits), d.send(emits)
 }
 
@@ -402,6 +452,7 @@ func (d *Detectors) Delete(id SubID) {
 	defer d.mu.Unlock()
 	if s := d.subs[id]; s != nil {
 		d.removeLocked(s)
+		d.publishLocked()
 	}
 }
 
@@ -499,9 +550,12 @@ func (d *Detectors) Subscriptions() int {
 
 // Stats returns a snapshot of the counters.
 func (d *Detectors) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return Stats{
+		DatabaseSignals: d.nDBSignals.Load(),
+		ExternalSignals: d.nExtSignals.Load(),
+		TemporalFirings: d.nTemporal.Load(),
+		Emissions:       d.nEmissions.Load(),
+	}
 }
 
 // Now exposes the detector clock (used by layers that timestamp

@@ -5,6 +5,7 @@ package lock
 // holders unless one is an ancestor of the other.
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -12,12 +13,22 @@ import (
 )
 
 // checkMossInvariant scans the lock table for conflicting holders
-// that are not ancestor-related.
+// that are not ancestor-related. Each stripe is checked under its own
+// mutex; the invariant is per-item, so a globally consistent view is
+// not needed.
 func checkMossInvariant(t *testing.T, m *Manager, topo Topology) {
 	t.Helper()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for item, e := range m.locks {
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.Lock()
+		checkStripeMossInvariant(t, st, topo)
+		st.mu.Unlock()
+	}
+}
+
+func checkStripeMossInvariant(t *testing.T, st *stripe, topo Topology) {
+	t.Helper()
+	for item, e := range st.locks {
 		holders := make([]TxnID, 0, len(e.holders))
 		for h := range e.holders {
 			holders = append(holders, h)
@@ -95,10 +106,15 @@ func TestMossInvariantUnderRandomWorkload(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(w)))
 			for r := 0; r < rounds; r++ {
 				top := alloc(0)
-				// Random lock pattern in ascending item order (no
-				// deadlock), random modes.
-				held := false
-				for i, item := range items {
+				// Random lock pattern in ascending item order, random
+				// modes. Ascending order prevents top-vs-top cycles,
+				// but the children below lock out of order over their
+				// suspended parents, so cross-worker deadlocks are
+				// still possible (childA→topB→childB→topA); a detected
+				// deadlock is a legitimate outcome — release and move
+				// on — while any other error is a failure.
+				held, aborted := false, false
+				for _, item := range items {
 					if rng.Intn(2) == 0 {
 						continue
 					}
@@ -107,20 +123,25 @@ func TestMossInvariantUnderRandomWorkload(t *testing.T) {
 						mode = Exclusive
 					}
 					if err := m.Acquire(top, item, mode); err != nil {
-						t.Errorf("acquire: %v", err)
-						return
+						if !errors.Is(err, ErrDeadlock) {
+							t.Errorf("acquire: %v", err)
+							return
+						}
+						aborted = true
+						break
 					}
 					held = true
-					_ = i
 				}
 				// Sometimes spawn a child that locks over the parent.
-				if held && rng.Intn(2) == 0 {
+				if !aborted && held && rng.Intn(2) == 0 {
 					child := alloc(top)
 					if err := m.Acquire(child, items[rng.Intn(len(items))], Exclusive); err != nil {
-						t.Errorf("child acquire: %v", err)
-						return
-					}
-					if rng.Intn(2) == 0 {
+						if !errors.Is(err, ErrDeadlock) {
+							t.Errorf("child acquire: %v", err)
+							return
+						}
+						m.ReleaseAll(child)
+					} else if rng.Intn(2) == 0 {
 						m.TransferToParent(child, top)
 					} else {
 						m.ReleaseAll(child)
@@ -140,9 +161,13 @@ func TestMossInvariantUnderRandomWorkload(t *testing.T) {
 	wg.Wait()
 	checkMossInvariant(t, m, topo)
 	// Everything released at the end.
-	m.mu.Lock()
-	remaining := len(m.locks)
-	m.mu.Unlock()
+	remaining := 0
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.Lock()
+		remaining += len(st.locks)
+		st.mu.Unlock()
+	}
 	if remaining != 0 {
 		t.Fatalf("%d items still locked after all releases", remaining)
 	}

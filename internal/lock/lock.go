@@ -9,19 +9,34 @@
 // ancestor-held lock can never be in active use by a concurrent
 // computation, which is what makes the rule safe.
 //
+// The lock table is striped: items hash to one of nStripes buckets,
+// each with its own mutex and condition variable, so requests for
+// unrelated items never contend. Only the wait registry (who is
+// blocked, on what) is global, under its own small mutex; the lock
+// order is stripe mutex before registry mutex, never the reverse.
+//
 // Deadlocks are detected at block time by a cycle search over the
 // waits-for graph. The graph has two edge kinds: a waiter points at
 // each conflicting non-ancestor holder of the item it wants, and a
 // suspended holder points at each of its waiting descendants (the
 // descendant is the computation actually running on the holder's
 // behalf, so the holder cannot release anything until the descendant
-// proceeds). The requester that closes a cycle receives ErrDeadlock.
+// proceeds). The probe runs without any stripe lock held — it freezes
+// the wait registry, then reads each visited item's holders one
+// stripe at a time. The view may therefore be slightly stale, which
+// can only over-report (abort a transaction on a cycle that had
+// already broken), never miss a real deadlock: a cycle is closed by
+// whichever waiter registers its edge last, and that waiter's probe
+// starts after every other edge of the cycle is in the registry and
+// every holder on the cycle already holds its item.
 package lock
 
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -87,16 +102,54 @@ type entry struct {
 	holders map[TxnID]Mode // strongest mode held by each transaction
 }
 
+// heldSet is one transaction's lock list: the items it was granted,
+// appended only on first grant so re-grants stay free and the list
+// holds no duplicates (transfers may introduce a few; release treats
+// them as no-ops). The mutex covers concurrent sibling transfers
+// merging into a shared parent's list.
+type heldSet struct {
+	mu    sync.Mutex
+	items []Item
+}
+
+// nStripes is the lock-table stripe count. Power of two so the item
+// hash is a mask.
+const nStripes = 64
+
+// stripe is one bucket of the lock table: the entries whose items
+// hash here, under their own mutex. cond wakes waiters blocked on
+// this stripe's items; every mutation that can improve grantability
+// broadcasts it while holding mu, so a waiter that re-checked its
+// grant under mu and then slept can never miss the wakeup.
+type stripe struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	locks map[Item]*entry
+}
+
 // Manager is the lock manager. It is safe for concurrent use.
 type Manager struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	top      Topology
-	locks    map[Item]*entry
+	top     Topology
+	stripes [nStripes]stripe
+	seed    maphash.Seed
+
+	// wmu guards waits. Lock order: a stripe's mu may be held when
+	// taking wmu, never the reverse. The never-blocked grant path does
+	// not touch wmu at all.
+	wmu      sync.Mutex
 	waits    map[TxnID]waitRecord // who is blocked, and on what
-	canceled map[TxnID]bool
-	stats    Stats
-	obsm     *obs.Metrics // nil-safe wait-latency observer
+	canceled sync.Map             // TxnID -> struct{}; lock-free read on the hot path
+
+	// held maps each transaction to the items it holds, so ReleaseAll
+	// and TransferToParent visit only the stripes involved instead of
+	// sweeping the whole table. Correct because a transaction's lock
+	// calls are serial: grants happen on its own goroutine, and release
+	// or transfer runs only after the transaction reached a terminal
+	// state. A heldSet's mu is never held while taking a stripe mutex.
+	held sync.Map // TxnID -> *heldSet
+
+	nAcquired, nWaited, nDeadlocks atomic.Uint64
+	obsm                           *obs.Metrics // nil-safe wait-latency observer
 }
 
 // SetObserver installs a wait-latency observer. Not safe to call
@@ -107,13 +160,21 @@ func (m *Manager) SetObserver(o *obs.Metrics) { m.obsm = o }
 // top.
 func NewManager(top Topology) *Manager {
 	m := &Manager{
-		top:      top,
-		locks:    map[Item]*entry{},
-		waits:    map[TxnID]waitRecord{},
-		canceled: map[TxnID]bool{},
+		top:   top,
+		seed:  maphash.MakeSeed(),
+		waits: map[TxnID]waitRecord{},
 	}
-	m.cond = sync.NewCond(&m.mu)
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.locks = map[Item]*entry{}
+		st.cond = sync.NewCond(&st.mu)
+	}
 	return m
+}
+
+// stripeOf maps an item to its bucket.
+func (m *Manager) stripeOf(item Item) *stripe {
+	return &m.stripes[maphash.String(m.seed, string(item))&(nStripes-1)]
 }
 
 // Acquire blocks until tx holds item in at least the requested mode,
@@ -122,67 +183,172 @@ func NewManager(top Topology) *Manager {
 // requesting Exclusive over a held Shared is an upgrade and follows
 // the same conflict rule.
 func (m *Manager) Acquire(tx TxnID, item Item, mode Mode) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	st := m.stripeOf(item)
+	st.mu.Lock()
 	// waitTimer stays zero (a no-op) unless the request blocks; it
 	// then measures block-to-resolution, whatever the outcome.
+	// waited tracks whether this request ever entered the registry, so
+	// the common never-blocked grant skips the registry mutex.
 	var waitTimer obs.Timer
+	waited := false
 	for {
-		if m.canceled[tx] {
-			delete(m.waits, tx)
+		if m.isCanceled(tx) {
+			if waited {
+				m.clearWait(tx)
+			}
+			st.mu.Unlock()
 			waitTimer.Done()
 			return fmt.Errorf("%w (txn %d, item %q)", ErrCanceled, tx, item)
 		}
-		e := m.locks[item]
+		e := st.locks[item]
 		if e == nil {
 			e = &entry{holders: map[TxnID]Mode{}}
-			m.locks[item] = e
+			st.locks[item] = e
 		}
 		if m.grantable(e, tx, mode) {
-			if cur, ok := e.holders[tx]; !ok || mode > cur {
+			cur, already := e.holders[tx]
+			if !already || mode > cur {
 				e.holders[tx] = mode
 			}
-			delete(m.waits, tx)
-			m.stats.Acquired++
+			// Clear the wait before releasing the stripe so no probe
+			// sees a granted request still registered as blocked.
+			if waited {
+				m.clearWait(tx)
+			}
+			st.mu.Unlock()
+			if !already {
+				m.noteHeld(tx, item)
+			}
+			m.nAcquired.Add(1)
 			waitTimer.Done()
 			return nil
 		}
-		if _, alreadyWaiting := m.waits[tx]; !alreadyWaiting {
-			m.stats.Waited++
+		// Register the wait before probing for deadlock: the probe of
+		// whichever waiter closes a cycle must be able to see every
+		// other edge. The canceled re-read inside registerWait closes
+		// the race with a concurrent Cancel that looked up our (not
+		// yet registered) wait record and broadcast nothing.
+		first, canceled := m.registerWait(tx, item, mode)
+		waited = true
+		if first {
+			m.nWaited.Add(1)
 			waitTimer = m.obsm.Timer(obs.HLockWait)
 		}
-		m.waits[tx] = waitRecord{item: item, mode: mode}
-		if m.inCycle(tx) {
-			delete(m.waits, tx)
-			m.stats.Deadlocks++
+		if canceled {
+			continue // loop top returns ErrCanceled
+		}
+		// The cycle probe takes stripes one at a time, so it must not
+		// hold ours. Releasing the stripe opens a window in which the
+		// request may become grantable (or a Cancel may land); the
+		// re-locked loop top re-checks both before sleeping, and any
+		// later change broadcasts under st.mu, so the sleep cannot
+		// miss its wakeup.
+		st.mu.Unlock()
+		dead := m.inCycle(tx)
+		st.mu.Lock()
+		if dead {
+			m.clearWait(tx)
+			m.nDeadlocks.Add(1)
+			st.mu.Unlock()
 			waitTimer.Done()
 			return fmt.Errorf("%w (txn %d, item %q, mode %s)", ErrDeadlock, tx, item, mode)
 		}
-		m.cond.Wait()
+		if m.isCanceled(tx) || m.grantable(st.locks[item], tx, mode) {
+			continue
+		}
+		st.cond.Wait()
 	}
+}
+
+// noteHeld appends item to tx's lock list. Callers invoke it only
+// when the grant created a new holder entry (not on re-grants or
+// upgrades), which keeps the list duplicate-free and the hot
+// re-acquire path unaffected.
+func (m *Manager) noteHeld(tx TxnID, item Item) {
+	v, ok := m.held.Load(tx)
+	if !ok {
+		v, _ = m.held.LoadOrStore(tx, &heldSet{})
+	}
+	h := v.(*heldSet)
+	h.mu.Lock()
+	h.items = append(h.items, item)
+	h.mu.Unlock()
+}
+
+// takeHeld removes and returns tx's lock list.
+func (m *Manager) takeHeld(tx TxnID) []Item {
+	v, ok := m.held.LoadAndDelete(tx)
+	if !ok {
+		return nil
+	}
+	h := v.(*heldSet)
+	h.mu.Lock()
+	items := h.items
+	h.items = nil
+	h.mu.Unlock()
+	return items
+}
+
+// isCanceled reads tx's cancellation mark. Lock-free: the mark lives
+// in a sync.Map so the never-blocked grant path stays off wmu.
+func (m *Manager) isCanceled(tx TxnID) bool {
+	_, ok := m.canceled.Load(tx)
+	return ok
+}
+
+// clearWait removes tx from the wait registry.
+func (m *Manager) clearWait(tx TxnID) {
+	m.wmu.Lock()
+	delete(m.waits, tx)
+	m.wmu.Unlock()
+}
+
+// registerWait records that tx blocks on item/mode, reporting whether
+// this is a fresh block (for stats) and whether tx is already
+// canceled.
+func (m *Manager) registerWait(tx TxnID, item Item, mode Mode) (first, canceled bool) {
+	m.wmu.Lock()
+	_, already := m.waits[tx]
+	m.waits[tx] = waitRecord{item: item, mode: mode}
+	m.wmu.Unlock()
+	// Read the mark only after the record is visible: either this load
+	// sees a concurrent Cancel's store, or the Cancel's registry lookup
+	// (which follows its store) sees the record and broadcasts our
+	// stripe — never both misses.
+	return !already, m.isCanceled(tx)
 }
 
 // TryAcquire attempts the grant without blocking, reporting success.
 func (m *Manager) TryAcquire(tx TxnID, item Item, mode Mode) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e := m.locks[item]
+	st := m.stripeOf(item)
+	st.mu.Lock()
+	e := st.locks[item]
 	if e == nil {
 		e = &entry{holders: map[TxnID]Mode{}}
-		m.locks[item] = e
+		st.locks[item] = e
 	}
 	if !m.grantable(e, tx, mode) {
+		st.mu.Unlock()
 		return false
 	}
-	if cur, ok := e.holders[tx]; !ok || mode > cur {
+	cur, already := e.holders[tx]
+	if !already || mode > cur {
 		e.holders[tx] = mode
 	}
-	m.stats.Acquired++
+	st.mu.Unlock()
+	if !already {
+		m.noteHeld(tx, item)
+	}
+	m.nAcquired.Add(1)
 	return true
 }
 
-// grantable implements Moss's rule. Caller holds m.mu.
+// grantable implements Moss's rule. Caller holds the entry's stripe
+// mutex; e may be nil (vacuously grantable).
 func (m *Manager) grantable(e *entry, tx TxnID, mode Mode) bool {
+	if e == nil {
+		return true
+	}
 	for h, hm := range e.holders {
 		if h == tx {
 			continue
@@ -194,9 +360,17 @@ func (m *Manager) grantable(e *entry, tx TxnID, mode Mode) bool {
 	return true
 }
 
-// inCycle reports whether tx participates in a waits-for cycle.
-// Caller holds m.mu.
+// inCycle reports whether tx participates in a waits-for cycle. It is
+// called with no stripe lock held: the wait registry is frozen into a
+// snapshot up front, and each visited item's holders are read under
+// that item's stripe, one stripe at a time.
 func (m *Manager) inCycle(start TxnID) bool {
+	m.wmu.Lock()
+	waits := make(map[TxnID]waitRecord, len(m.waits))
+	for tx, w := range m.waits {
+		waits[tx] = w
+	}
+	m.wmu.Unlock()
 	visited := map[TxnID]bool{}
 	var visit func(tx TxnID) bool
 	visit = func(tx TxnID) bool {
@@ -204,14 +378,14 @@ func (m *Manager) inCycle(start TxnID) bool {
 			return false
 		}
 		visited[tx] = true
-		for _, next := range m.blockers(tx) {
+		for _, next := range m.blockers(waits, tx) {
 			if next == start || visit(next) {
 				return true
 			}
 		}
 		return false
 	}
-	for _, next := range m.blockers(start) {
+	for _, next := range m.blockers(waits, start) {
 		if next == start || visit(next) {
 			return true
 		}
@@ -222,21 +396,25 @@ func (m *Manager) inCycle(start TxnID) bool {
 // blockers returns the transactions tx is directly waiting on:
 // conflicting non-ancestor holders of its wanted item, plus — because
 // a holder with running descendants is suspended until they finish —
-// every waiting descendant of tx itself. Caller holds m.mu.
-func (m *Manager) blockers(tx TxnID) []TxnID {
+// every waiting descendant of tx itself. waits is the probe's frozen
+// registry snapshot; holders are read live under the item's stripe.
+func (m *Manager) blockers(waits map[TxnID]waitRecord, tx TxnID) []TxnID {
 	var out []TxnID
-	if w, ok := m.waits[tx]; ok {
-		if e := m.locks[w.item]; e != nil {
+	if w, ok := waits[tx]; ok {
+		st := m.stripeOf(w.item)
+		st.mu.Lock()
+		if e := st.locks[w.item]; e != nil {
 			for h, hm := range e.holders {
 				if h != tx && conflicts(hm, w.mode) && !m.top.IsAncestorOrSelf(h, tx) {
 					out = append(out, h)
 				}
 			}
 		}
+		st.mu.Unlock()
 	}
 	// Delegation edges: tx's progress depends on its blocked
 	// descendants (tx is suspended while they run).
-	for w := range m.waits {
+	for w := range waits {
 		if w != tx && m.top.IsAncestorOrSelf(tx, w) {
 			out = append(out, w)
 		}
@@ -245,59 +423,87 @@ func (m *Manager) blockers(tx TxnID) []TxnID {
 }
 
 // ReleaseAll drops every lock held by tx (used at abort, and at
-// top-level commit) and clears any cancellation mark.
+// top-level commit) and clears any cancellation mark. The lock list
+// names the items, so only their stripes are touched and woken.
 func (m *Manager) ReleaseAll(tx TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for item, e := range m.locks {
-		if _, ok := e.holders[tx]; ok {
-			delete(e.holders, tx)
-			if len(e.holders) == 0 {
-				delete(m.locks, item)
+	for _, item := range m.takeHeld(tx) {
+		st := m.stripeOf(item)
+		st.mu.Lock()
+		if e := st.locks[item]; e != nil {
+			if _, ok := e.holders[tx]; ok {
+				delete(e.holders, tx)
+				if len(e.holders) == 0 {
+					delete(st.locks, item)
+				}
+				st.cond.Broadcast()
 			}
 		}
+		st.mu.Unlock()
 	}
-	delete(m.canceled, tx)
-	m.cond.Broadcast()
+	m.canceled.Delete(tx)
 }
 
 // TransferToParent implements lock inheritance at subtransaction
 // commit: every lock held by child is afterwards held by parent in
-// the stronger of the two modes.
+// the stronger of the two modes. Waiters on affected stripes are
+// woken — ancestry-based grantability may have improved for waiters
+// that are descendants of the parent, and only items the child held
+// can be affected.
 func (m *Manager) TransferToParent(child, parent TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, e := range m.locks {
-		cm, ok := e.holders[child]
-		if !ok {
-			continue
+	items := m.takeHeld(child)
+	inherited := items[:0]
+	for _, item := range items {
+		st := m.stripeOf(item)
+		st.mu.Lock()
+		if e := st.locks[item]; e != nil {
+			if cm, ok := e.holders[child]; ok {
+				pm, held := e.holders[parent]
+				if !held || cm > pm {
+					e.holders[parent] = cm
+				}
+				delete(e.holders, child)
+				if !held {
+					// Parent's list gains only items it did not already
+					// hold, so lists stay duplicate-free.
+					inherited = append(inherited, item)
+				}
+				st.cond.Broadcast()
+			}
 		}
-		delete(e.holders, child)
-		if pm, ok := e.holders[parent]; !ok || cm > pm {
-			e.holders[parent] = cm
-		}
+		st.mu.Unlock()
 	}
-	delete(m.canceled, child)
-	// Ancestry-based grantability may have improved for waiters that
-	// are descendants of the parent.
-	m.cond.Broadcast()
+	for _, item := range inherited {
+		m.noteHeld(parent, item)
+	}
+	m.canceled.Delete(child)
 }
 
 // Cancel wakes any in-progress or future waits by tx with
 // ErrCanceled. Used when a transaction is aborted from another
 // goroutine while it may be blocked.
 func (m *Manager) Cancel(tx TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.canceled[tx] = true
-	m.cond.Broadcast()
+	m.canceled.Store(tx, struct{}{})
+	m.wmu.Lock()
+	w, waiting := m.waits[tx]
+	m.wmu.Unlock()
+	if !waiting {
+		// Not blocked yet. If tx is racing toward a wait, it re-reads
+		// the mark inside registerWait (after publishing its record)
+		// and returns without sleeping.
+		return
+	}
+	st := m.stripeOf(w.item)
+	st.mu.Lock()
+	st.cond.Broadcast()
+	st.mu.Unlock()
 }
 
 // HeldMode reports the mode tx holds on item, if any.
 func (m *Manager) HeldMode(tx TxnID, item Item) (Mode, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if e := m.locks[item]; e != nil {
+	st := m.stripeOf(item)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e := st.locks[item]; e != nil {
 		mode, ok := e.holders[tx]
 		return mode, ok
 	}
@@ -306,20 +512,21 @@ func (m *Manager) HeldMode(tx TxnID, item Item) (Mode, bool) {
 
 // HeldItems returns the number of items on which tx holds a lock.
 func (m *Manager) HeldItems(tx TxnID) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	n := 0
-	for _, e := range m.locks {
-		if _, ok := e.holders[tx]; ok {
-			n++
-		}
+	v, ok := m.held.Load(tx)
+	if !ok {
+		return 0
 	}
-	return n
+	h := v.(*heldSet)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.items)
 }
 
 // Stats returns a snapshot of the activity counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Acquired:  m.nAcquired.Load(),
+		Waited:    m.nWaited.Load(),
+		Deadlocks: m.nDeadlocks.Load(),
+	}
 }

@@ -59,6 +59,10 @@ const (
 	// "d" in the O(d) incremental-snapshot claim. A count histogram
 	// like HWALGroup.
 	HDeltaRecords
+	// HCommitShards: heap shards a top-level commit's install phase
+	// locked — the spread of write sets over the partitions. A count
+	// histogram like HWALGroup.
+	HCommitShards
 
 	numHists
 )
@@ -68,11 +72,12 @@ var histNames = [numHists]string{
 	"action_exec", "wal_sync", "lock_wait", "ipc_request",
 	"commit_stall", "wal_group_size",
 	"checkpoint", "wal_bytes_reclaimed", "delta_records",
+	"commit_shards",
 }
 
 // histIsCount marks histograms whose observations are counts recorded
 // via ObserveN, not durations.
-var histIsCount = [numHists]bool{HWALGroup: true, HWALReclaimed: true, HDeltaRecords: true}
+var histIsCount = [numHists]bool{HWALGroup: true, HWALReclaimed: true, HDeltaRecords: true, HCommitShards: true}
 
 // HistNames returns the canonical histogram names in display order;
 // snapshot maps are keyed by these.

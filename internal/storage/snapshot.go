@@ -263,17 +263,18 @@ func (s *Store) loadChain() (wal.LSN, error) {
 }
 
 // installSnapshot applies one decoded chain element to the store.
+// Runs during Open, before any concurrency, but takes the shard locks
+// anyway so installCommitted's contract holds.
 func (s *Store) installSnapshot(sn *snapshot) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if sn.nextOID > s.nextOID {
-		s.nextOID = sn.nextOID
+	if sn.nextOID > 0 {
+		s.raiseNextOID(sn.nextOID - 1)
 	}
 	for _, rec := range sn.recs {
-		if rec.OID >= s.nextOID {
-			s.nextOID = rec.OID + 1
-		}
-		s.installCommitted(committedOwner, rec)
+		s.raiseNextOID(rec.OID)
+		sh := s.shardOf(rec.OID)
+		sh.mu.Lock()
+		s.installCommitted(sh, committedOwner, rec)
+		sh.mu.Unlock()
 	}
 }
 

@@ -12,8 +12,12 @@
 // snapshot) to recover. Only committed top-level effects are ever
 // logged, so recovery is a pure redo pass.
 //
-// The store performs no locking of its own beyond an internal mutex;
-// isolation comes from the lock manager driven by the layers above.
+// The heap is hash-partitioned: object chains, per-class extents, and
+// secondary btree indexes are co-located in N shards keyed by OID,
+// each under its own RWMutex, so readers and committers touching
+// different objects never share a lock. Isolation still comes from the
+// lock manager driven by the layers above; the shard locks only keep
+// the in-memory structures coherent.
 package storage
 
 import (
@@ -73,6 +77,15 @@ type chain struct {
 // checkpoint rewrites a full snapshot and drops the chain.
 const DefaultCompactEvery = 8
 
+// DefaultShards is the committed-tier partition count when Options
+// leaves Shards zero. Shard counts are rounded up to a power of two so
+// the OID hash is a mask; sequential OIDs then stripe round-robin.
+const DefaultShards = 16
+
+// maxShards bounds the partition count (diminishing returns and O(n)
+// scans beyond this).
+const maxShards = 1024
+
 // Options configures a Store.
 type Options struct {
 	// Dir is the durability directory (snapshot chain + WAL). Empty
@@ -80,9 +93,15 @@ type Options struct {
 	Dir string
 	// NoSync disables fsync on the WAL.
 	NoSync bool
+	// Shards is the number of hash partitions of the in-memory heap
+	// (rounded up to a power of two, capped at 1024). 0 means
+	// DefaultShards. Purely an in-memory concurrency knob: the on-disk
+	// format is shard-oblivious, so the count may change across opens.
+	Shards int
 	// GroupWindow widens WAL group-commit batches: a flush leader
-	// dwells this long before snapshotting the batch. 0 flushes
-	// immediately (batching still happens whenever commits overlap).
+	// dwells this long before snapshotting the batch when followers
+	// are queuing (a lone committer never dwells). 0 disables the
+	// dwell (batching still happens whenever commits overlap).
 	GroupWindow time.Duration
 	// CheckpointAfterBytes, when >0, kicks a background checkpoint
 	// whenever the WAL has grown by at least this many bytes since the
@@ -98,31 +117,55 @@ type Options struct {
 	// checkpoints. nil discards them.
 	OnAsyncError func(error)
 	// Obs, when non-nil, receives WAL fsync latencies, group-commit
-	// batch sizes, and commit-stall latencies.
+	// batch sizes, commit-stall latencies, and per-commit shard
+	// spread.
 	Obs *obs.Metrics
+}
+
+// shard is one hash partition of the heap: the object chains whose
+// OIDs map here, the slices of every class extent and secondary index
+// covering those OIDs, and the partition's delta-checkpoint dirty set.
+// All fields are guarded by mu.
+type shard struct {
+	mu        sync.RWMutex
+	objects   map[datum.OID]*chain
+	extents   map[string]map[datum.OID]struct{} // class -> OIDs with any version, this shard
+	indexes   map[string]map[string]*btree.Tree // class -> attr -> committed-tier index, this shard
+	ckptDirty map[datum.OID]string              // OIDs committed since the last checkpoint -> class
+	installs  atomic.Uint64                     // committed installs landed here (load/contention signal)
+}
+
+// txnDirty is one transaction's write set. The entry mutex covers the
+// set: the owning transaction adds to it, and other transactions'
+// IndexCandidates calls read it through their visibility check.
+type txnDirty struct {
+	mu   sync.Mutex
+	oids map[datum.OID]struct{}
 }
 
 // Store is the versioned heap.
 type Store struct {
-	mu      sync.RWMutex
-	topo    Topology
-	objects map[datum.OID]*chain
-	extents map[string]map[datum.OID]struct{} // class -> OIDs with any version
-	indexes map[string]map[string]*btree.Tree // class -> attr -> committed-tier index
-	dirty   map[lock.TxnID]map[datum.OID]struct{}
-	nextOID datum.OID
-	modSeq  map[string]uint64 // class -> bumped on every write; used for incremental condition eval
-	log     *wal.Log
-	dir     string
-	noSync  bool
-	obsm    *obs.Metrics // nil-safe commit-stall observer
+	topo      Topology
+	shards    []*shard
+	shardMask uint64
+	dirty     sync.Map // lock.TxnID -> *txnDirty
+	modSeq    sync.Map // class string -> *atomic.Uint64
+	nextOID   atomic.Uint64
+	log       *wal.Log
+	dir       string
+	noSync    bool
+	obsm      *obs.Metrics // nil-safe commit-stall observer
+
+	// imu guards index registration (RegisterIndex must create the
+	// per-shard trees of one class.attr exactly once).
+	imu sync.Mutex
 
 	// inflight holds the LSNs of redo records that have been appended
 	// to the WAL but whose versions are not yet installed in the
 	// committed tier. The fuzzy checkpointer's watermark is the
 	// smallest in-flight LSN (or the log end if none): every record
 	// below it is guaranteed to be in the snapshot scan. Guarded by
-	// cmu; lock order is s.mu before cmu.
+	// cmu; lock order is shard locks before cmu.
 	cmu      sync.Mutex
 	inflight map[wal.LSN]struct{}
 
@@ -130,12 +173,6 @@ type Store struct {
 	// would race on snapshot.tmp and the chain-link state below, which
 	// it also guards).
 	ckptMu sync.Mutex
-	// ckptDirty maps each OID committed since the last checkpoint to
-	// the class of its newest committed write — the record set of the
-	// next delta snapshot. Written in CommitTop's install phase and in
-	// applyRedo (replayed records are newer than the on-disk chain)
-	// under s.mu; read and reset by the checkpointer.
-	ckptDirty map[datum.OID]string
 	// Chain-link state for the next checkpoint, guarded by ckptMu:
 	// the tip element's watermark and trailing CRC, whether a full
 	// snapshot exists (a delta needs a parent), and the sequence
@@ -159,7 +196,7 @@ type Store struct {
 	bgWG           sync.WaitGroup
 
 	// Counters are atomic: reads (Get/Scan) bump them while holding
-	// only the read lock.
+	// only a shard read lock.
 	nPuts, nGets, nScans, nProbes, nCommits, nWALBytes atomic.Uint64
 	nCheckpoints, nFullCkpts, nDeltaCkpts              atomic.Uint64
 	nWALReclaimed                                      atomic.Uint64
@@ -187,6 +224,24 @@ type Stats struct {
 	FullCheckpoints   uint64
 	DeltaCheckpoints  uint64
 	WALBytesReclaimed uint64
+	// Shards is the partition count of the in-memory heap.
+	Shards int
+}
+
+// roundShards normalizes a configured shard count to a power of two in
+// [1, maxShards].
+func roundShards(n int) int {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // Open creates a store. If opts.Dir is non-empty the store loads the
@@ -197,23 +252,28 @@ func Open(topo Topology, opts Options) (*Store, error) {
 	if compactEvery <= 0 {
 		compactEvery = DefaultCompactEvery
 	}
+	nShards := roundShards(opts.Shards)
 	s := &Store{
 		topo:           topo,
-		objects:        map[datum.OID]*chain{},
-		extents:        map[string]map[datum.OID]struct{}{},
-		indexes:        map[string]map[string]*btree.Tree{},
-		dirty:          map[lock.TxnID]map[datum.OID]struct{}{},
-		modSeq:         map[string]uint64{},
+		shards:         make([]*shard, nShards),
+		shardMask:      uint64(nShards - 1),
 		inflight:       map[wal.LSN]struct{}{},
-		ckptDirty:      map[datum.OID]string{},
 		compactEvery:   compactEvery,
 		ckptAfterBytes: opts.CheckpointAfterBytes,
 		onAsyncErr:     opts.OnAsyncError,
-		nextOID:        1,
 		dir:            opts.Dir,
 		noSync:         opts.NoSync,
 		obsm:           opts.Obs,
 	}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			objects:   map[datum.OID]*chain{},
+			extents:   map[string]map[datum.OID]struct{}{},
+			indexes:   map[string]map[string]*btree.Tree{},
+			ckptDirty: map[datum.OID]string{},
+		}
+	}
+	s.nextOID.Store(1)
 	if opts.Dir == "" {
 		return s, nil
 	}
@@ -270,13 +330,51 @@ func (s *Store) Close() error {
 	return nil
 }
 
+// shardOf maps an OID to its partition.
+func (s *Store) shardOf(oid datum.OID) *shard {
+	return s.shards[uint64(oid)&s.shardMask]
+}
+
+// ShardCount returns the number of heap partitions.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// ShardInstalls returns, per shard, the number of committed installs
+// it has absorbed — a cheap load/contention profile of the partitions.
+func (s *Store) ShardInstalls() []uint64 {
+	out := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.installs.Load()
+	}
+	return out
+}
+
 // AllocOID returns a fresh, never-reused object identifier.
 func (s *Store) AllocOID() datum.OID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	oid := s.nextOID
-	s.nextOID++
-	return oid
+	return datum.OID(s.nextOID.Add(1) - 1)
+}
+
+// raiseNextOID lifts the allocator above oid (recovery paths).
+func (s *Store) raiseNextOID(oid datum.OID) {
+	for {
+		cur := s.nextOID.Load()
+		if uint64(oid) < cur {
+			return
+		}
+		if s.nextOID.CompareAndSwap(cur, uint64(oid)+1) {
+			return
+		}
+	}
+}
+
+// bumpSeq advances the class's modification counter. Lock-free after
+// the class's first write.
+func (s *Store) bumpSeq(class string) {
+	if v, ok := s.modSeq.Load(class); ok {
+		v.(*atomic.Uint64).Add(1)
+		return
+	}
+	v, _ := s.modSeq.LoadOrStore(class, &atomic.Uint64{})
+	v.(*atomic.Uint64).Add(1)
 }
 
 // Put installs rec as tx's version of the object, replacing any prior
@@ -284,15 +382,15 @@ func (s *Store) AllocOID() datum.OID {
 // exclusive lock.
 func (s *Store) Put(tx lock.TxnID, rec Record) {
 	rec = rec.clone()
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.nPuts.Add(1)
-	s.modSeq[rec.Class]++
-	c := s.objects[rec.OID]
+	sh := s.shardOf(rec.OID)
+	sh.mu.Lock()
+	c := sh.objects[rec.OID]
 	if c == nil {
 		c = &chain{}
-		s.objects[rec.OID] = c
+		sh.objects[rec.OID] = c
 	}
+	replaced := false
 	for i := range c.versions {
 		if c.versions[i].owner == tx {
 			// Replace in place, but keep recency: move to the end so
@@ -300,30 +398,60 @@ func (s *Store) Put(tx lock.TxnID, rec Record) {
 			v := c.versions[i]
 			v.rec = rec
 			c.versions = append(append(c.versions[:i:i], c.versions[i+1:]...), v)
-			s.noteDirty(tx, rec.OID)
-			s.addExtent(rec.Class, rec.OID)
-			return
+			replaced = true
+			break
 		}
 	}
-	c.versions = append(c.versions, version{owner: tx, rec: rec})
+	if !replaced {
+		c.versions = append(c.versions, version{owner: tx, rec: rec})
+	}
+	addExtent(sh, rec.Class, rec.OID)
+	sh.mu.Unlock()
+	// Bump after the write so a stale ModSeq read can only under-claim
+	// freshness (forcing a harmless re-evaluation), never cache stale
+	// data under a new sequence number.
+	s.bumpSeq(rec.Class)
 	s.noteDirty(tx, rec.OID)
-	s.addExtent(rec.Class, rec.OID)
 }
 
 func (s *Store) noteDirty(tx lock.TxnID, oid datum.OID) {
-	d := s.dirty[tx]
-	if d == nil {
-		d = map[datum.OID]struct{}{}
-		s.dirty[tx] = d
-	}
-	d[oid] = struct{}{}
+	d := s.dirtySet(tx)
+	d.mu.Lock()
+	d.oids[oid] = struct{}{}
+	d.mu.Unlock()
 }
 
-func (s *Store) addExtent(class string, oid datum.OID) {
-	e := s.extents[class]
+// dirtySet returns tx's write-set entry, creating it if needed.
+func (s *Store) dirtySet(tx lock.TxnID) *txnDirty {
+	if v, ok := s.dirty.Load(tx); ok {
+		return v.(*txnDirty)
+	}
+	v, _ := s.dirty.LoadOrStore(tx, &txnDirty{oids: map[datum.OID]struct{}{}})
+	return v.(*txnDirty)
+}
+
+// takeDirty removes and returns tx's write set (sorted), or nil.
+func (s *Store) takeDirty(tx lock.TxnID) []datum.OID {
+	v, ok := s.dirty.LoadAndDelete(tx)
+	if !ok {
+		return nil
+	}
+	d := v.(*txnDirty)
+	d.mu.Lock()
+	oids := make([]datum.OID, 0, len(d.oids))
+	for oid := range d.oids {
+		oids = append(oids, oid)
+	}
+	d.mu.Unlock()
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	return oids
+}
+
+func addExtent(sh *shard, class string, oid datum.OID) {
+	e := sh.extents[class]
 	if e == nil {
 		e = map[datum.OID]struct{}{}
-		s.extents[class] = e
+		sh.extents[class] = e
 	}
 	e[oid] = struct{}{}
 }
@@ -334,14 +462,17 @@ func (s *Store) addExtent(class string, oid datum.OID) {
 // visible version is a deletion tombstone (the record is still
 // returned so callers can see the tombstone's class).
 func (s *Store) Get(tx lock.TxnID, oid datum.OID) (Record, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	s.nGets.Add(1)
-	return s.getLocked(tx, oid)
+	sh := s.shardOf(oid)
+	sh.mu.RLock()
+	rec, ok := s.getLocked(sh, tx, oid)
+	sh.mu.RUnlock()
+	return rec, ok
 }
 
-func (s *Store) getLocked(tx lock.TxnID, oid datum.OID) (Record, bool) {
-	c := s.objects[oid]
+// getLocked resolves visibility inside one shard. Caller holds sh.mu.
+func (s *Store) getLocked(sh *shard, tx lock.TxnID, oid datum.OID) (Record, bool) {
+	c := sh.objects[oid]
 	if c == nil {
 		return Record{}, false
 	}
@@ -356,22 +487,24 @@ func (s *Store) getLocked(tx lock.TxnID, oid datum.OID) (Record, bool) {
 
 // ScanClass calls fn for every live (visible, non-deleted) object of
 // the class, in ascending OID order. Scanning stops if fn returns
-// false.
+// false. Shard locks are taken one at a time, and no lock is held
+// while fn runs, so fn may re-enter the store.
 func (s *Store) ScanClass(tx lock.TxnID, class string, fn func(Record) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	s.nScans.Add(1)
-	e := s.extents[class]
-	if e == nil {
-		return
-	}
-	oids := make([]datum.OID, 0, len(e))
-	for oid := range e {
-		oids = append(oids, oid)
+	var oids []datum.OID
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for oid := range sh.extents[class] {
+			oids = append(oids, oid)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
 	for _, oid := range oids {
-		rec, ok := s.getLocked(tx, oid)
+		sh := s.shardOf(oid)
+		sh.mu.RLock()
+		rec, ok := s.getLocked(sh, tx, oid)
+		sh.mu.RUnlock()
 		if !ok || rec.Class != class {
 			continue
 		}
@@ -382,44 +515,53 @@ func (s *Store) ScanClass(tx lock.TxnID, class string, fn func(Record) bool) {
 }
 
 // RegisterIndex declares (and builds, from the committed tier) a
-// secondary index on class.attr. Idempotent.
+// secondary index on class.attr. Idempotent. Each shard gets its own
+// tree covering the shard's slice of the extent.
 func (s *Store) RegisterIndex(class, attr string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	byAttr := s.indexes[class]
-	if byAttr == nil {
-		byAttr = map[string]*btree.Tree{}
-		s.indexes[class] = byAttr
-	}
-	if byAttr[attr] != nil {
+	s.imu.Lock()
+	defer s.imu.Unlock()
+	s.shards[0].mu.RLock()
+	exists := s.shards[0].indexes[class][attr] != nil
+	s.shards[0].mu.RUnlock()
+	if exists {
 		return
 	}
-	t := btree.New()
-	byAttr[attr] = t
-	for oid := range s.extents[class] {
-		c := s.objects[oid]
-		if c == nil {
-			continue
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		byAttr := sh.indexes[class]
+		if byAttr == nil {
+			byAttr = map[string]*btree.Tree{}
+			sh.indexes[class] = byAttr
 		}
-		for i := len(c.versions) - 1; i >= 0; i-- {
-			if c.versions[i].owner == committedOwner {
-				rec := c.versions[i].rec
-				if !rec.Deleted {
-					if v, ok := rec.Attrs[attr]; ok {
-						t.Insert(v.Key(), oid)
+		t := btree.New()
+		byAttr[attr] = t
+		for oid := range sh.extents[class] {
+			c := sh.objects[oid]
+			if c == nil {
+				continue
+			}
+			for i := len(c.versions) - 1; i >= 0; i-- {
+				if c.versions[i].owner == committedOwner {
+					rec := c.versions[i].rec
+					if !rec.Deleted {
+						if v, ok := rec.Attrs[attr]; ok {
+							t.Insert(v.Key(), oid)
+						}
 					}
+					break
 				}
-				break
 			}
 		}
+		sh.mu.Unlock()
 	}
 }
 
 // HasIndex reports whether class.attr has a registered index.
 func (s *Store) HasIndex(class, attr string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.indexes[class][attr] != nil
+	sh := s.shards[0]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.indexes[class][attr] != nil
 }
 
 // IndexCandidates returns OIDs that *may* satisfy lo <= attr <= hi
@@ -428,41 +570,56 @@ func (s *Store) HasIndex(class, attr string) bool {
 // the predicate against the visible record; candidates may include
 // false positives but never miss a visible match.
 func (s *Store) IndexCandidates(tx lock.TxnID, class, attr string, lo, hi btree.Bound) []datum.OID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	s.nProbes.Add(1)
-	t := s.indexes[class][attr]
-	if t == nil {
+	if !s.HasIndex(class, attr) {
 		return nil
 	}
 	seen := map[datum.OID]struct{}{}
 	var out []datum.OID
-	t.Scan(lo, hi, func(_ string, oid datum.OID) bool {
-		if _, dup := seen[oid]; !dup {
-			seen[oid] = struct{}{}
-			out = append(out, oid)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if t := sh.indexes[class][attr]; t != nil {
+			t.Scan(lo, hi, func(_ string, oid datum.OID) bool {
+				if _, dup := seen[oid]; !dup {
+					seen[oid] = struct{}{}
+					out = append(out, oid)
+				}
+				return true
+			})
 		}
-		return true
-	})
+		sh.mu.RUnlock()
+	}
 	// Uncommitted writes by tx's tree are invisible to the committed
 	// index; add every dirty object of this class whose writer is
 	// visible to tx.
-	for owner, objs := range s.dirty {
+	s.dirty.Range(func(k, v any) bool {
+		owner := k.(lock.TxnID)
 		if owner != tx && !s.topo.IsAncestorOrSelf(owner, tx) {
-			continue
+			return true
 		}
-		for oid := range objs {
+		d := v.(*txnDirty)
+		d.mu.Lock()
+		oids := make([]datum.OID, 0, len(d.oids))
+		for oid := range d.oids {
+			oids = append(oids, oid)
+		}
+		d.mu.Unlock()
+		for _, oid := range oids {
 			if _, dup := seen[oid]; dup {
 				continue
 			}
-			if c := s.objects[oid]; c != nil && len(c.versions) > 0 {
+			sh := s.shardOf(oid)
+			sh.mu.RLock()
+			if c := sh.objects[oid]; c != nil && len(c.versions) > 0 {
 				if c.versions[len(c.versions)-1].rec.Class == class {
 					seen[oid] = struct{}{}
 					out = append(out, oid)
 				}
 			}
+			sh.mu.RUnlock()
 		}
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -471,9 +628,10 @@ func (s *Store) IndexCandidates(tx lock.TxnID, class, attr string, lo, hi btree.
 // written (by any transaction). The condition evaluator uses it to
 // reuse cached results when nothing relevant changed.
 func (s *Store) ModSeq(class string) uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.modSeq[class]
+	if v, ok := s.modSeq.Load(class); ok {
+		return v.(*atomic.Uint64).Load()
+	}
+	return 0
 }
 
 // Stats returns a snapshot of the activity counters.
@@ -485,6 +643,7 @@ func (s *Store) Stats() Stats {
 		IndexProbes: s.nProbes.Load(),
 		TopCommits:  s.nCommits.Load(),
 		WALBytes:    s.nWALBytes.Load(),
+		Shards:      len(s.shards),
 	}
 	st.Checkpoints = s.nCheckpoints.Load()
 	st.FullCheckpoints = s.nFullCkpts.Load()
@@ -500,12 +659,17 @@ func (s *Store) Stats() Stats {
 // DirtyOIDs returns the objects tx itself has written (not
 // ancestors'), sorted. The rule manager uses it for delta queries.
 func (s *Store) DirtyOIDs(tx lock.TxnID) []datum.OID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]datum.OID, 0, len(s.dirty[tx]))
-	for oid := range s.dirty[tx] {
+	v, ok := s.dirty.Load(tx)
+	if !ok {
+		return nil
+	}
+	d := v.(*txnDirty)
+	d.mu.Lock()
+	out := make([]datum.OID, 0, len(d.oids))
+	for oid := range d.oids {
 		out = append(out, oid)
 	}
+	d.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -514,11 +678,12 @@ func (s *Store) DirtyOIDs(tx lock.TxnID) []datum.OID {
 
 // CommitNested folds the child's versions into the parent tier.
 func (s *Store) CommitNested(child, parent lock.TxnID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for oid := range s.dirty[child] {
-		c := s.objects[oid]
+	for _, oid := range s.takeDirty(child) {
+		sh := s.shardOf(oid)
+		sh.mu.Lock()
+		c := sh.objects[oid]
 		if c == nil {
+			sh.mu.Unlock()
 			continue
 		}
 		// Drop the parent's own older version (the child's is newer
@@ -541,58 +706,58 @@ func (s *Store) CommitNested(child, parent lock.TxnID) error {
 		if childV != nil {
 			childV.owner = parent
 			c.versions = append(c.versions, *childV)
+		}
+		sh.mu.Unlock()
+		if childV != nil {
 			s.noteDirty(parent, oid)
 		}
 	}
-	delete(s.dirty, child)
 	return nil
 }
 
 // CommitTop makes tx's versions durable and visible to everyone. It
 // runs in three phases so the disk flush never stalls the store:
 //
-//  1. prepare — collect the new committed states under s.mu;
+//  1. prepare — collect the new committed states under the shard read
+//     locks of tx's write set;
 //  2. log — append the redo record and group-fsync it with no store
 //     lock held, so concurrent committers batch into shared flushes;
-//  3. install — reacquire s.mu and publish the committed tier and
-//     secondary-index updates.
+//  3. install — publish the committed tier and secondary-index
+//     updates shard by shard, locking only the shards the write set
+//     maps to.
 //
 // The write-ahead invariant holds: no version installs before its log
-// record is durable. Reading the prepared records outside s.mu is
-// safe because records are immutable once Put (Put clones its input,
-// readers clone on the way out), tx's own versions cannot change
-// while its single commit goroutine is here, and tx still holds its
-// exclusive locks, so no other committer touches the same objects.
+// record is durable. Reading the prepared records outside the shard
+// locks is safe because records are immutable once Put (Put clones
+// its input, readers clone on the way out), tx's own versions cannot
+// change while its single commit goroutine is here, and tx still
+// holds its exclusive locks, so no other committer touches the same
+// objects.
 func (s *Store) CommitTop(tx lock.TxnID) error {
 	s.nCommits.Add(1)
 
 	// Prepare.
-	s.mu.Lock()
-	oids := make([]datum.OID, 0, len(s.dirty[tx]))
-	for oid := range s.dirty[tx] {
-		oids = append(oids, oid)
-	}
-	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	oids := s.takeDirty(tx)
 	recs := make([]Record, 0, len(oids))
 	for _, oid := range oids {
-		c := s.objects[oid]
-		if c == nil {
-			continue
-		}
-		for i := range c.versions {
-			if c.versions[i].owner == tx {
-				recs = append(recs, c.versions[i].rec)
-				break
+		sh := s.shardOf(oid)
+		sh.mu.RLock()
+		if c := sh.objects[oid]; c != nil {
+			for i := range c.versions {
+				if c.versions[i].owner == tx {
+					recs = append(recs, c.versions[i].rec)
+					break
+				}
 			}
 		}
+		sh.mu.RUnlock()
 	}
-	s.mu.Unlock()
 
-	// Log before install (write-ahead), outside s.mu. The record's LSN
-	// is registered as in-flight under cmu in the same critical
-	// section as the append, so a concurrent checkpoint either sees
-	// this commit installed or holds its watermark below the record —
-	// never both missing (the watermark invariant).
+	// Log before install (write-ahead), outside the shard locks. The
+	// record's LSN is registered as in-flight under cmu in the same
+	// critical section as the append, so a concurrent checkpoint
+	// either sees this commit installed or holds its watermark below
+	// the record — never both missing (the watermark invariant).
 	var lsn wal.LSN
 	logged := false
 	if s.log != nil && len(recs) > 0 {
@@ -619,27 +784,57 @@ func (s *Store) CommitTop(tx lock.TxnID) error {
 		s.nWALBytes.Add(uint64(len(payload)))
 	}
 
-	// Install.
-	s.mu.Lock()
-	for _, rec := range recs {
-		s.installCommitted(tx, rec)
+	// Install, shard by shard: group the write set so each shard lock
+	// is taken once. Single-record commits (the common OLTP shape)
+	// skip the grouping maps entirely.
+	var nShards int
+	if len(recs) == 1 {
+		rec := recs[0]
+		sh := s.shardOf(rec.OID)
+		sh.mu.Lock()
+		s.installCommitted(sh, tx, rec)
 		if s.dir != "" {
 			// Mark for the next delta snapshot. The mark rides the
 			// same critical section as the install, so a checkpoint
 			// scan sees the version and the mark together or neither.
-			s.ckptDirty[rec.OID] = rec.Class
+			sh.ckptDirty[rec.OID] = rec.Class
 		}
+		sh.installs.Add(1)
+		sh.mu.Unlock()
+		s.bumpSeq(rec.Class)
+		nShards = 1
+	} else if len(recs) > 0 {
+		groups := map[*shard][]Record{}
+		for _, rec := range recs {
+			sh := s.shardOf(rec.OID)
+			groups[sh] = append(groups[sh], rec)
+		}
+		classes := map[string]struct{}{}
+		for sh, group := range groups {
+			sh.mu.Lock()
+			for _, rec := range group {
+				s.installCommitted(sh, tx, rec)
+				if s.dir != "" {
+					sh.ckptDirty[rec.OID] = rec.Class
+				}
+				classes[rec.Class] = struct{}{}
+			}
+			sh.installs.Add(uint64(len(group)))
+			sh.mu.Unlock()
+		}
+		for class := range classes {
+			s.bumpSeq(class)
+		}
+		nShards = len(groups)
 	}
-	delete(s.dirty, tx)
+	s.obsm.ObserveN(obs.HCommitShards, uint64(nShards))
 	if logged {
-		// Deregister only after the install: a checkpoint scan that
-		// missed these versions must still see the LSN in flight.
+		// Deregister only after every shard's install: a checkpoint
+		// scan that missed these versions must still see the LSN in
+		// flight.
 		s.cmu.Lock()
 		delete(s.inflight, lsn)
 		s.cmu.Unlock()
-	}
-	s.mu.Unlock()
-	if logged {
 		s.maybeKickCheckpoint()
 	}
 	return nil
@@ -678,14 +873,17 @@ func (s *Store) maybeKickCheckpoint() {
 
 // installCommitted replaces the committed version of rec's object
 // (dropping owner's uncommitted copy, which is what is being
-// committed) and maintains extents and indexes. During recovery the
-// owner is committedOwner, meaning there is no uncommitted copy to
-// drop. Caller holds s.mu.
-func (s *Store) installCommitted(owner lock.TxnID, rec Record) {
-	c := s.objects[rec.OID]
+// committed) and maintains the shard's extents and indexes. During
+// recovery the owner is committedOwner, meaning there is no
+// uncommitted copy to drop. Caller holds sh.mu exclusively; sh is
+// rec.OID's shard. The class modification counter is bumped by the
+// caller (after its shard section) — see Put for the ordering
+// argument.
+func (s *Store) installCommitted(sh *shard, owner lock.TxnID, rec Record) {
+	c := sh.objects[rec.OID]
 	if c == nil {
 		c = &chain{}
-		s.objects[rec.OID] = c
+		sh.objects[rec.OID] = c
 	}
 	kept := c.versions[:0]
 	var old *Record
@@ -703,33 +901,33 @@ func (s *Store) installCommitted(owner lock.TxnID, rec Record) {
 	}
 	c.versions = kept
 	if old != nil {
-		s.indexRemove(*old)
+		indexRemove(sh, *old)
 	}
 	if rec.Deleted {
 		// Tombstone: no committed version is re-installed. Remove the
 		// object entirely if no uncommitted versions remain.
 		if len(c.versions) == 0 {
-			delete(s.objects, rec.OID)
-			if e := s.extents[rec.Class]; e != nil {
+			delete(sh.objects, rec.OID)
+			if e := sh.extents[rec.Class]; e != nil {
 				delete(e, rec.OID)
 			}
 		}
-		s.modSeq[rec.Class]++
 		return
 	}
 	c.versions = append([]version{{owner: committedOwner, rec: rec}}, c.versions...)
-	s.indexInsert(rec)
-	s.addExtent(rec.Class, rec.OID)
-	s.modSeq[rec.Class]++
+	indexInsert(sh, rec)
+	addExtent(sh, rec.Class, rec.OID)
 }
 
 // AbortTxn discards tx's versions.
 func (s *Store) AbortTxn(tx lock.TxnID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for oid := range s.dirty[tx] {
-		c := s.objects[oid]
+	classes := map[string]struct{}{}
+	for _, oid := range s.takeDirty(tx) {
+		sh := s.shardOf(oid)
+		sh.mu.Lock()
+		c := sh.objects[oid]
 		if c == nil {
+			sh.mu.Unlock()
 			continue
 		}
 		kept := c.versions[:0]
@@ -742,31 +940,34 @@ func (s *Store) AbortTxn(tx lock.TxnID) {
 			kept = append(kept, c.versions[i])
 		}
 		c.versions = kept
-		if class != "" {
-			s.modSeq[class]++
-		}
 		if len(c.versions) == 0 {
-			delete(s.objects, oid)
+			delete(sh.objects, oid)
 			if class != "" {
-				if e := s.extents[class]; e != nil {
+				if e := sh.extents[class]; e != nil {
 					delete(e, oid)
 				}
 			}
 		}
+		sh.mu.Unlock()
+		if class != "" {
+			classes[class] = struct{}{}
+		}
 	}
-	delete(s.dirty, tx)
+	for class := range classes {
+		s.bumpSeq(class)
+	}
 }
 
-func (s *Store) indexInsert(rec Record) {
-	for attr, t := range s.indexes[rec.Class] {
+func indexInsert(sh *shard, rec Record) {
+	for attr, t := range sh.indexes[rec.Class] {
 		if v, ok := rec.Attrs[attr]; ok {
 			t.Insert(v.Key(), rec.OID)
 		}
 	}
 }
 
-func (s *Store) indexRemove(rec Record) {
-	for attr, t := range s.indexes[rec.Class] {
+func indexRemove(sh *shard, rec Record) {
+	for attr, t := range sh.indexes[rec.Class] {
 		if v, ok := rec.Attrs[attr]; ok {
 			t.Delete(v.Key(), rec.OID)
 		}
@@ -833,17 +1034,17 @@ func (s *Store) applyRedo(payload []byte) error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, rec := range recs {
-		if rec.OID >= s.nextOID {
-			s.nextOID = rec.OID + 1
-		}
-		s.installCommitted(committedOwner, rec)
+		s.raiseNextOID(rec.OID)
+		sh := s.shardOf(rec.OID)
+		sh.mu.Lock()
+		s.installCommitted(sh, committedOwner, rec)
 		// Replayed records are newer than the on-disk chain (their
 		// LSNs are at or above its watermark), so the next delta must
 		// carry them.
-		s.ckptDirty[rec.OID] = rec.Class
+		sh.ckptDirty[rec.OID] = rec.Class
+		sh.mu.Unlock()
+		s.bumpSeq(rec.Class)
 	}
 	return nil
 }
@@ -869,19 +1070,21 @@ type CheckpointResult struct {
 // full snapshot and drops the chain. Either way it then truncates the
 // WAL prefix the chain covers.
 //
-// Commits proceed concurrently: the only store lock taken is a read
-// lock for the in-memory scan, and the WAL keeps accepting appends
-// except during the (short) suffix copy inside TruncateBefore.
+// Commits proceed concurrently: the capture iterates the shards one at
+// a time (read locks for a full scan, a brief exclusive lock per shard
+// to cut its delta dirty set), never stopping the world, and the WAL
+// keeps accepting appends except during the (short) suffix copy inside
+// TruncateBefore.
 //
 // The watermark invariant makes this safe: every committed record is
 // either in the chain or at LSN >= watermark. The watermark is the
 // smallest in-flight LSN (appended but not yet installed), or the log
-// end if none: a record below it was installed before the scan (the
-// read lock blocks installs mid-scan, and deregistration happens only
-// after install), so the scan saw it — in the dirty set if it landed
-// after the previous checkpoint, in an older chain element otherwise;
-// anything at or above survives TruncateBefore(watermark) and is
-// replayed over the chain on recovery.
+// end if none. A commit whose LSN is below the watermark had been
+// deregistered — which happens only after every shard's install — by
+// the time the watermark was read under cmu, so every shard scan that
+// follows sees its versions; a commit at or above the watermark
+// survives TruncateBefore(watermark) and is replayed over the chain on
+// recovery, even if the shard-by-shard capture saw only part of it.
 func (s *Store) Checkpoint() (CheckpointResult, error) {
 	return s.checkpoint(false)
 }
@@ -902,7 +1105,6 @@ func (s *Store) checkpoint(forceFull bool) (CheckpointResult, error) {
 
 	full := forceFull || !s.haveFull || s.deltaSeq >= s.compactEvery
 
-	s.mu.RLock()
 	var watermark wal.LSN
 	if s.log != nil {
 		watermark = s.log.End()
@@ -914,28 +1116,46 @@ func (s *Store) checkpoint(forceFull bool) (CheckpointResult, error) {
 		}
 		s.cmu.Unlock()
 	}
+	// Capture shard by shard. For a delta, each shard's dirty set is
+	// stolen and its records resolved inside one exclusive section, so
+	// a concurrent install either lands wholly before the cut (version
+	// and mark captured) or wholly after (mark lands in the fresh set,
+	// record at LSN >= watermark). On any failure below the stolen
+	// sets are merged back — losing a mark would silently drop its
+	// record from every future delta.
 	var recs []Record
+	var taken []map[datum.OID]string
 	if full {
-		recs = make([]Record, 0, len(s.objects))
-		for _, c := range s.objects {
-			for i := range c.versions {
-				if c.versions[i].owner == committedOwner {
-					recs = append(recs, c.versions[i].rec)
-					break
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			for _, c := range sh.objects {
+				for i := range c.versions {
+					if c.versions[i].owner == committedOwner {
+						recs = append(recs, c.versions[i].rec)
+						break
+					}
 				}
 			}
+			taken = append(taken, sh.ckptDirty)
+			sh.ckptDirty = make(map[datum.OID]string, 8)
+			sh.mu.Unlock()
 		}
 	} else {
-		recs = make([]Record, 0, len(s.ckptDirty))
-		for oid, class := range s.ckptDirty {
-			if rec, ok := s.committedRecord(oid); ok {
-				recs = append(recs, rec)
-			} else {
-				// Deleted since the last checkpoint: the delta must
-				// carry the tombstone or recovery would resurrect the
-				// object from an older chain element.
-				recs = append(recs, Record{OID: oid, Class: class, Deleted: true})
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			for oid, class := range sh.ckptDirty {
+				if rec, ok := committedInShard(sh, oid); ok {
+					recs = append(recs, rec)
+				} else {
+					// Deleted since the last checkpoint: the delta must
+					// carry the tombstone or recovery would resurrect
+					// the object from an older chain element.
+					recs = append(recs, Record{OID: oid, Class: class, Deleted: true})
+				}
 			}
+			taken = append(taken, sh.ckptDirty)
+			sh.ckptDirty = make(map[datum.OID]string, 8)
+			sh.mu.Unlock()
 		}
 	}
 	// An empty delta at an unmoved watermark would extend the chain
@@ -943,25 +1163,22 @@ func (s *Store) checkpoint(forceFull bool) (CheckpointResult, error) {
 	// prior crash between rename and truncate leaves covered prefix
 	// to reclaim).
 	writeFile := full || len(recs) > 0 || watermark != s.chainWatermark
-	// Reset the dirty set: everything in it is in recs now. Installs
-	// are excluded while the read lock is held and checkpoints are
-	// serialized by ckptMu, so this write does not race. On any
-	// failure below the saved set is merged back — losing a mark
-	// would silently drop its record from every future delta.
-	taken := s.ckptDirty
-	s.ckptDirty = make(map[datum.OID]string, 8)
-	nextOID := s.nextOID
-	s.mu.RUnlock()
+	// Safe to read after the scans: any captured record's OID was
+	// allocated before its commit installed, and recovery raises the
+	// allocator past every replayed record anyway.
+	nextOID := datum.OID(s.nextOID.Load())
 	sort.Slice(recs, func(i, j int) bool { return recs[i].OID < recs[j].OID })
 
 	restoreDirty := func() {
-		s.mu.Lock()
-		for oid, class := range taken {
-			if _, ok := s.ckptDirty[oid]; !ok {
-				s.ckptDirty[oid] = class
+		for i, sh := range s.shards {
+			sh.mu.Lock()
+			for oid, class := range taken[i] {
+				if _, ok := sh.ckptDirty[oid]; !ok {
+					sh.ckptDirty[oid] = class
+				}
 			}
+			sh.mu.Unlock()
 		}
-		s.mu.Unlock()
 	}
 
 	res := CheckpointResult{Kind: "delta", Records: len(recs)}
@@ -1029,10 +1246,10 @@ func (s *Store) checkpoint(forceFull bool) (CheckpointResult, error) {
 	return res, nil
 }
 
-// committedRecord returns oid's committed version. Caller holds s.mu
-// (read or write).
-func (s *Store) committedRecord(oid datum.OID) (Record, bool) {
-	c := s.objects[oid]
+// committedInShard returns oid's committed version. Caller holds
+// sh.mu (read or write); sh is oid's shard.
+func committedInShard(sh *shard, oid datum.OID) (Record, bool) {
+	c := sh.objects[oid]
 	if c == nil {
 		return Record{}, false
 	}
@@ -1050,7 +1267,7 @@ func syncDir(dir string) error {
 	if err != nil {
 		return fmt.Errorf("storage: open dir: %w", err)
 	}
-	defer d.Close()
+	defer d.Sync()
 	if err := d.Sync(); err != nil {
 		return fmt.Errorf("storage: sync dir: %w", err)
 	}

@@ -107,8 +107,10 @@ type Options struct {
 	// required.
 	NoSync bool
 	// GroupWindow, when >0, makes a group-flush leader dwell that long
-	// before snapshotting the batch, widening groups under load at the
-	// cost of added latency. 0 flushes as soon as the leader runs.
+	// before snapshotting the batch, widening groups under load. The
+	// dwell is adaptive: it applies only when followers are already
+	// queuing behind the leader, so a lone committer pays no added
+	// latency. 0 flushes as soon as the leader runs.
 	GroupWindow time.Duration
 	// Obs, when non-nil, receives fsync latencies and group sizes.
 	Obs *obs.Metrics
@@ -275,11 +277,14 @@ func (l *Log) SyncTo(target LSN) error {
 		}
 		// Leader: flush once for every record already in the file.
 		// The batch is everyone pending now; late arrivals form the
-		// next batch (they observe flushing == true and park).
+		// next batch (they observe flushing == true and park). The
+		// group-window dwell is adaptive: a leader dwells only when
+		// followers are already queuing (pending > 1), so widening
+		// batches under load never taxes a lone committer.
 		l.flushing = true
 		group := l.pending
 		l.fmu.Unlock()
-		end, err := l.flushOnce()
+		end, err := l.flushOnce(group > 1)
 		l.fmu.Lock()
 		l.flushing = false
 		l.fgen++
@@ -299,12 +304,12 @@ func (l *Log) SyncTo(target LSN) error {
 }
 
 // flushOnce performs one physical flush: optionally dwell for the
-// group window, snapshot the append frontier, fsync, and report the
-// frontier that is now durable. Runs outside both mutexes so
-// concurrent Appends (growing the next batch) are never blocked by
-// the disk.
-func (l *Log) flushOnce() (LSN, error) {
-	if l.window > 0 {
+// group window (only when the leader saw followers queuing), snapshot
+// the append frontier, fsync, and report the frontier that is now
+// durable. Runs outside both mutexes so concurrent Appends (growing
+// the next batch) are never blocked by the disk.
+func (l *Log) flushOnce(dwell bool) (LSN, error) {
+	if dwell && l.window > 0 {
 		time.Sleep(l.window)
 	}
 	l.mu.Lock()
