@@ -14,20 +14,20 @@ test:
 race:
 	$(GO) test -race ./internal/rule/ ./internal/txn/ ./internal/lock/ \
 		./internal/storage/ ./internal/wal/ ./internal/event/ \
-		./internal/object/ ./internal/core/ ./internal/server/ \
-		./internal/failpoint/
+		./internal/cep/ ./internal/object/ ./internal/core/ \
+		./internal/server/ ./internal/failpoint/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 0.5s .
 
 # bench-baseline re-measures the C16 parallel-scalability cells and
-# rewrites the committed baseline. Run it on a quiet machine after a
-# deliberate perf change, and commit BENCH_5.json with the change that
-# moved the numbers.
+# C17 composite-event cells, rewriting the committed baseline. Run it
+# on a quiet machine after a deliberate perf change, and commit
+# BENCH_6.json with the change that moved the numbers.
 bench-baseline:
-	$(GO) run ./cmd/hipac-bench -run C16 -json BENCH_5.json
+	$(GO) run ./cmd/hipac-bench -run C16,C17 -json BENCH_6.json
 
 # bench-smoke is the CI regression gate: re-measure and fail if any
-# C16 cell is more than 20% slower than the committed baseline.
+# C16 or C17 cell is more than 20% slower than the committed baseline.
 bench-smoke:
-	$(GO) run ./cmd/hipac-bench -run C16 -compare BENCH_5.json
+	$(GO) run ./cmd/hipac-bench -run C16,C17 -compare BENCH_6.json

@@ -4,15 +4,15 @@
 //
 // Usage:
 //
-//	hipac-bench [-run all|F41|F42|C1|...|C16] [-quick]
+//	hipac-bench [-run all|F41|F42|C1|...|C17] [-quick]
 //	           [-json out.json] [-compare baseline.json] [-regress-threshold 0.20]
 //
 // -json writes the metrics recorded during the run (today: C16's
-// parallel-scalability cells) as a flat name -> ns/op map; the
-// committed BENCH_5.json baseline is produced with `make
-// bench-baseline`. -compare re-measures and fails (exit 1) if any
-// metric shared with the baseline regressed beyond the threshold —
-// CI runs `-run C16 -quick -compare BENCH_5.json` as its bench smoke.
+// parallel-scalability cells and C17's composite-event cells) as a
+// flat name -> ns/op map; the committed BENCH_6.json baseline is
+// produced with `make bench-baseline`. -compare re-measures and fails
+// (exit 1) if any metric shared with the baseline regressed beyond
+// the threshold — CI runs the bench smoke against BENCH_6.json.
 package main
 
 import (
@@ -40,7 +40,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment id (F41, F42, C1..C16) or all")
+	run := flag.String("run", "all", "experiment ids (F41, F42, C1..C17), comma-separated, or all")
 	quick := flag.Bool("quick", false, "smaller iteration counts")
 	jsonPath := flag.String("json", "", "write recorded metrics (name -> ns/op) to this file")
 	comparePath := flag.String("compare", "", "fail if recorded metrics regress beyond the threshold vs this baseline JSON")
@@ -55,12 +55,15 @@ func main() {
 
 	selected := ids
 	if *run != "all" {
-		want := strings.ToUpper(*run)
-		if _, ok := experiments[want]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; have %s\n", *run, strings.Join(ids, " "))
-			os.Exit(1)
+		selected = nil
+		for _, part := range strings.Split(*run, ",") {
+			want := strings.ToUpper(strings.TrimSpace(part))
+			if _, ok := experiments[want]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; have %s\n", part, strings.Join(ids, " "))
+				os.Exit(1)
+			}
+			selected = append(selected, want)
 		}
-		selected = []string{want}
 	}
 	warmProcess()
 	for _, id := range selected {
@@ -105,6 +108,7 @@ var titles = map[string]string{
 	"C14": "commit latency under a running fuzzy checkpointer",
 	"C15": "commit p99 under size-triggered delta checkpoints",
 	"C16": "sharded-store parallel scalability: reads and commits at 1 and 8 procs",
+	"C17": "composite-event runtime: signals/sec vs active-instance count and rule fan-out",
 }
 
 var experiments = map[string]func(quick bool) error{
@@ -113,6 +117,7 @@ var experiments = map[string]func(quick bool) error{
 	"C5": expC5, "C6": expC6, "C7": expC7, "C8": expC8,
 	"C9": expC9, "C10": expC10, "C11": expC11, "C12": expC12,
 	"C13": expC13, "C14": expC14, "C15": expC15, "C16": expC16,
+	"C17": expC17,
 }
 
 // measure warms the path up, then runs fn iters times and returns

@@ -365,6 +365,7 @@ func (s *shell) exec(line string) error {
 		}
 		out, _ := json.MarshalIndent(pretty, "", "  ")
 		fmt.Fprintln(s.out, string(out))
+		printRuleFirings(s.out, rep.Engine)
 		printObs(s.out, rep.Obs)
 		return nil
 
@@ -431,6 +432,35 @@ func oneArg(args []string, usage string, fn func(string) error) error {
 		return fmt.Errorf("usage: %s", usage)
 	}
 	return fn(args[0])
+}
+
+// printRuleFirings renders the per-rule firing counters as a table,
+// most-fired first (ties by name). The raw map is already in the JSON
+// dump above; the table is the at-a-glance view.
+func printRuleFirings(w io.Writer, engine json.RawMessage) {
+	var rep struct {
+		Rules struct {
+			RuleFirings map[string]uint64
+		}
+	}
+	if err := json.Unmarshal(engine, &rep); err != nil || len(rep.Rules.RuleFirings) == 0 {
+		return
+	}
+	names := make([]string, 0, len(rep.Rules.RuleFirings))
+	for name := range rep.Rules.RuleFirings {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		fi, fj := rep.Rules.RuleFirings[names[i]], rep.Rules.RuleFirings[names[j]]
+		if fi != fj {
+			return fi > fj
+		}
+		return names[i] < names[j]
+	})
+	fmt.Fprintf(w, "\n%-30s %10s\n", "RULE", "FIRINGS")
+	for _, name := range names {
+		fmt.Fprintf(w, "%-30s %10d\n", name, rep.Rules.RuleFirings[name])
+	}
 }
 
 // printObs renders the latency histograms and trace-ring totals that

@@ -7,8 +7,8 @@
 //
 //	hipacd [-addr 127.0.0.1:4815] [-dir /var/lib/hipac] [-nosync]
 //	       [-group-window 0] [-checkpoint-interval 0]
-//	       [-checkpoint-after-bytes 0] [-checkpoint-compact-every 8]
-//	       [-store-shards 16] [-metrics :9090]
+//	       [-checkpoint-after-bytes 0] [-checkpoint-compact-every 0]
+//	       [-store-shards 16] [-cep-shards 16] [-metrics :9090]
 //
 // With -metrics, an HTTP listener serves the engine's counters and
 // latency histograms in Prometheus text format at /metrics.
@@ -38,15 +38,17 @@ func main() {
 	ckptBytes := flag.Uint64("checkpoint-after-bytes", 0,
 		"also checkpoint whenever the WAL grows this many bytes past the last checkpoint (0: disabled)")
 	ckptCompact := flag.Int("checkpoint-compact-every", 0,
-		"compact the delta chain into a full snapshot after this many deltas (0: default 8)")
+		"compact the delta chain into a full snapshot after this many deltas (0: adaptive — compact when delta bytes reach half the snapshot size)")
 	shards := flag.Int("store-shards", 0,
 		"hash partitions of the in-memory heap, rounded up to a power of two (0: default 16)")
+	cepShards := flag.Int("cep-shards", 0,
+		"hash partitions of each composite-event template's correlation-instance map (0: default 16)")
 	metrics := flag.String("metrics", "", "Prometheus /metrics listen address (empty: disabled)")
 	flag.Parse()
 
 	eng, err := core.Open(core.Options{Dir: *dir, NoSync: *nosync, GroupCommitWindow: *window,
 		CheckpointInterval: *ckptEvery, CheckpointAfterBytes: *ckptBytes,
-		CheckpointCompactEvery: *ckptCompact, StoreShards: *shards})
+		CheckpointCompactEvery: *ckptCompact, StoreShards: *shards, CEPShards: *cepShards})
 	if err != nil {
 		log.Fatalf("hipacd: open engine: %v", err)
 	}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/datum"
 	"repro/internal/obs"
@@ -117,14 +118,18 @@ type ruleEntry struct {
 type ModSeqFunc func(class string) uint64
 
 // Evaluator is the condition evaluator. It is safe for concurrent
-// use.
+// use. The activity counters are atomics, not mu-guarded state:
+// high-fan-out firing paths (many separate couplings evaluating
+// concurrently, e.g. composite-event bursts) would otherwise
+// serialize on the evaluator mutex just to count shared hits.
 type Evaluator struct {
 	mu     sync.Mutex
 	nodes  map[string]*qnode
 	rules  map[uint64]*ruleEntry
 	modSeq ModSeqFunc
-	stats  Stats
 	obsm   *obs.Metrics // nil-safe evaluation-latency observer
+
+	nEvals, nShared, nCache atomic.Uint64
 }
 
 // SetObserver installs an evaluation-latency observer. Not safe to
@@ -222,9 +227,11 @@ func (e *Evaluator) Nodes() []NodeInfo {
 
 // Stats returns a snapshot of the counters.
 func (e *Evaluator) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return Stats{
+		Evaluations: e.nEvals.Load(),
+		SharedHits:  e.nShared.Load(),
+		CacheHits:   e.nCache.Load(),
+	}
 }
 
 // Evaluate determines which of the given rules' conditions are
@@ -255,7 +262,7 @@ func (e *Evaluator) Evaluate(reader query.Reader, eventArgs map[string]datum.Val
 		for i, n := range nodes {
 			res, ok := memo[n]
 			if ok {
-				e.bump(func(s *Stats) { s.SharedHits++ })
+				e.nShared.Add(1)
 			} else {
 				var err error
 				res, err = e.evalNode(n, reader, eventArgs, clean)
@@ -278,12 +285,6 @@ func (e *Evaluator) Evaluate(reader query.Reader, eventArgs map[string]datum.Val
 	return out, nil
 }
 
-func (e *Evaluator) bump(f func(*Stats)) {
-	e.mu.Lock()
-	f(&e.stats)
-	e.mu.Unlock()
-}
-
 func (e *Evaluator) evalNode(n *qnode, reader query.Reader,
 	eventArgs map[string]datum.Value, clean bool) (*query.Result, error) {
 
@@ -291,7 +292,7 @@ func (e *Evaluator) evalNode(n *qnode, reader query.Reader,
 		e.mu.Lock()
 		if n.cached != nil && e.cacheFreshLocked(n) {
 			res := n.cached
-			e.stats.CacheHits++
+			e.nCache.Add(1)
 			e.mu.Unlock()
 			return res, nil
 		}
@@ -304,17 +305,17 @@ func (e *Evaluator) evalNode(n *qnode, reader query.Reader,
 		return nil, err
 	}
 	tm.Done()
-	e.mu.Lock()
-	e.stats.Evaluations++
+	e.nEvals.Add(1)
 	if clean && n.eventFree && e.modSeq != nil {
+		e.mu.Lock()
 		seqs := make(map[string]uint64, len(n.footprint.Classes))
 		for cls := range n.footprint.Classes {
 			seqs[cls] = e.modSeq(cls)
 		}
 		n.cached = res
 		n.cachedSeqs = seqs
+		e.mu.Unlock()
 	}
-	e.mu.Unlock()
 	return res, nil
 }
 

@@ -1,0 +1,185 @@
+package core
+
+// End-to-end tests of the composite-event runtime through the full
+// engine: a rule on a correlated aggregate event fires exactly once
+// per qualifying correlation key under concurrent signalers, and
+// windowed rules respect the (virtual) clock.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/rule"
+)
+
+func TestAggregateRuleFiresOncePerTicker(t *testing.T) {
+	// The ISSUE-6 acceptance scenario: a rule on
+	// count(PriceDrop where ticker=$t) >= 10 within 1m fires exactly
+	// once per qualifying ticker under 8 concurrent signalers, and the
+	// correlation instances spread across the template's shards.
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	if err := e.DefineEvent("PriceDrop", "ticker", "price"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateRule(rule.Def{
+		Name:  "crash-guard",
+		Event: "count(PriceDrop where ticker=$t) >= 10 within 1m",
+		Action: []rule.Step{{
+			Kind: rule.StepCreate, Class: "Audit",
+			Attrs: map[string]string{"note": "event.t", "price": "event.cep_count * 1.0"},
+		}},
+		EC: "immediate", CA: "immediate", // nil-txn signal: degrades to separate
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// 16 tickers: the first 8 see exactly 10 drops (qualify, once),
+	// the rest only 3 (never qualify). One shuffled stream, drained by
+	// 8 concurrent signalers.
+	const qualifying, others = 8, 8
+	var stream []string
+	for i := 0; i < qualifying; i++ {
+		for j := 0; j < 10; j++ {
+			stream = append(stream, fmt.Sprintf("Q%02d", i))
+		}
+	}
+	for i := 0; i < others; i++ {
+		for j := 0; j < 3; j++ {
+			stream = append(stream, fmt.Sprintf("N%02d", i))
+		}
+	}
+	rand.New(rand.NewSource(42)).Shuffle(len(stream), func(i, j int) {
+		stream[i], stream[j] = stream[j], stream[i]
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(stream); i += 8 {
+				if err := e.SignalEvent(nil, "PriceDrop", map[string]datum.Value{
+					"ticker": datum.Str(stream[i]), "price": datum.Float(9.5),
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	e.Quiesce()
+
+	// Exactly one Audit row per qualifying ticker, none for the rest.
+	tx := e.Begin()
+	res, err := e.Query(tx, "select a.note, a.price from Audit a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perTicker := map[string]int{}
+	for _, row := range res.Rows {
+		perTicker[row[0].AsString()]++
+		if got := row[1].AsFloat(); got != 10 {
+			t.Fatalf("cep_count binding reached the action as %v, want 10", got)
+		}
+	}
+	tx.Commit()
+	if len(res.Rows) != qualifying {
+		t.Fatalf("audit rows = %d, want %d (one per qualifying ticker): %v",
+			len(res.Rows), qualifying, perTicker)
+	}
+	for i := 0; i < qualifying; i++ {
+		if n := perTicker[fmt.Sprintf("Q%02d", i)]; n != 1 {
+			t.Fatalf("ticker Q%02d fired %d times, want exactly 1", i, n)
+		}
+	}
+
+	// Non-qualifying tickers hold live instances, distributed over the
+	// shards (qualifying ones were consumed and reclaimed on firing).
+	st := e.Stats().Detectors
+	if st.CEPFirings != qualifying {
+		t.Fatalf("CEPFirings = %d, want %d", st.CEPFirings, qualifying)
+	}
+	if st.CEPInstances != others {
+		t.Fatalf("CEPInstances = %d, want %d pending tickers", st.CEPInstances, others)
+	}
+	per := e.Detectors.CEPShardInstances()
+	nonzero, total := 0, 0
+	for _, n := range per {
+		total += n
+		if n > 0 {
+			nonzero++
+		}
+	}
+	if total != others {
+		t.Fatalf("shard instance sum = %d, want %d", total, others)
+	}
+	if nonzero < 2 {
+		t.Fatalf("instances in %d shard(s), want spread over >= 2 of %d", nonzero, len(per))
+	}
+	if errs := e.AsyncErrors(); len(errs) != 0 {
+		t.Fatalf("async errors: %v", errs)
+	}
+}
+
+func TestWithinRuleRespectsWindow(t *testing.T) {
+	// within(PriceDrop, Confirm, 30s where ticker=$t) through the
+	// engine on the virtual clock: the pair fires inside the window
+	// and is dropped past it.
+	e, clk := newEngine(t)
+	defineStockAndAudit(t, e)
+	if err := e.DefineEvent("PriceDrop", "ticker", "price"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DefineEvent("Confirm", "ticker"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateRule(rule.Def{
+		Name:  "confirmed-drop",
+		Event: "within(PriceDrop, Confirm, 30s where ticker=$t)",
+		Action: []rule.Step{{
+			Kind: rule.StepCreate, Class: "Audit",
+			Attrs: map[string]string{"note": "event.t"},
+		}},
+		EC: "immediate", CA: "immediate",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	drop := func(tk string) {
+		if err := e.SignalEvent(nil, "PriceDrop", map[string]datum.Value{
+			"ticker": datum.Str(tk), "price": datum.Float(1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	confirm := func(tk string) {
+		if err := e.SignalEvent(nil, "Confirm", map[string]datum.Value{
+			"ticker": datum.Str(tk),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drop("XRX")
+	clk.Advance(10 * time.Second)
+	confirm("XRX")
+	drop("IBM")
+	clk.Advance(31 * time.Second) // IBM's partial expires
+	confirm("IBM")
+	e.Quiesce()
+	tx := e.Begin()
+	res, err := e.Query(tx, "select a.note from Audit a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "XRX" {
+		t.Fatalf("audit rows = %v, want exactly one for XRX", res.Rows)
+	}
+	if exp := e.Stats().Detectors.CEPExpired; exp < 1 {
+		t.Fatalf("CEPExpired = %d, want >= 1 (IBM partial)", exp)
+	}
+}

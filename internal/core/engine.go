@@ -55,15 +55,22 @@ type Options struct {
 	// that tracks the write rate instead of the wall clock. 0 disables
 	// the size trigger.
 	CheckpointAfterBytes uint64
-	// CheckpointCompactEvery is the delta-chain length at which the
-	// next checkpoint rewrites a full snapshot instead of appending
-	// another delta. 0 means storage.DefaultCompactEvery.
+	// CheckpointCompactEvery, when >0, is the delta-chain length at
+	// which the next checkpoint rewrites a full snapshot instead of
+	// appending another delta. 0 selects adaptive compaction: compact
+	// once the cumulative delta bytes reach half the snapshot's size.
 	CheckpointCompactEvery int
 	// StoreShards is the number of hash partitions of the in-memory
 	// heap (rounded up to a power of two). More shards means less lock
 	// contention between parallel readers and committers; the on-disk
 	// format is unaffected. 0 means storage.DefaultShards.
 	StoreShards int
+	// CEPShards is the number of hash partitions of each composite
+	// (cep) event template's correlation-key instance map (rounded up
+	// to a power of two). Signals for distinct correlation keys
+	// advance their NFA instances under independent shard locks. 0
+	// means cep.DefaultShards.
+	CEPShards int
 	// Clock supplies time for temporal events; nil means the wall
 	// clock. Tests pass a *clock.Virtual.
 	Clock clock.Clock
@@ -165,6 +172,7 @@ func Open(opts Options) (*Engine, error) {
 		async:      sink,
 	}
 	det := event.New(clk, rules.HandleEmit)
+	det.SetCEPShards(opts.CEPShards)
 	det.SetObserver(o.Metrics())
 	det.SetAsyncErrorHandler(sink.record)
 	e.Detectors = det

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/obs"
 )
@@ -42,6 +43,8 @@ func (e *Engine) WritePrometheus(w io.Writer) error {
 		{"hipac_rule_conditions_satisfied_total", s.Rules.ConditionsSatisfied},
 		{"hipac_rule_actions_executed_total", s.Rules.ActionsExecuted},
 		{"hipac_rule_async_errors_total", s.Rules.AsyncErrors},
+		{"hipac_cep_firings_total", s.Detectors.CEPFirings},
+		{"hipac_cep_expired_partials_total", s.Detectors.CEPExpired},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.value); err != nil {
@@ -62,6 +65,39 @@ func (e *Engine) WritePrometheus(w io.Writer) error {
 	for i, n := range e.Store.ShardInstalls() {
 		if _, err := fmt.Fprintf(w, "hipac_store_shard_installs_total{shard=\"%d\"} %d\n", i, n); err != nil {
 			return err
+		}
+	}
+	// Composite-event runtime gauges: template count plus the live
+	// NFA-instance and partial-match populations (bounded-memory
+	// evidence under sustained streams).
+	cepGauges := []struct {
+		name  string
+		value int
+	}{
+		{"hipac_cep_templates", s.Detectors.CEPTemplates},
+		{"hipac_cep_instances", s.Detectors.CEPInstances},
+		{"hipac_cep_partials", s.Detectors.CEPPartials},
+	}
+	for _, g := range cepGauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.value); err != nil {
+			return err
+		}
+	}
+	// Per-rule firing counters (cardinality-bounded at the source:
+	// rule.MaxFiringCounters names, overflow folded into one series).
+	if len(s.Rules.RuleFirings) > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE hipac_rule_firings_total counter\n"); err != nil {
+			return err
+		}
+		names := make([]string, 0, len(s.Rules.RuleFirings))
+		for name := range s.Rules.RuleFirings {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if _, err := fmt.Fprintf(w, "hipac_rule_firings_total{rule=%q} %d\n", name, s.Rules.RuleFirings[name]); err != nil {
+				return err
+			}
 		}
 	}
 	return obs.WritePrometheus(w, e.Obs.Snapshot(), "hipac")

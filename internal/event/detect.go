@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cep"
 	"repro/internal/clock"
 	"repro/internal/datum"
 	"repro/internal/lock"
@@ -31,6 +32,14 @@ type Stats struct {
 	ExternalSignals uint64
 	TemporalFirings uint64
 	Emissions       uint64 // signals delivered to the Rule Manager
+
+	// Composite-event runtime (internal/cep) aggregates across all
+	// templates.
+	CEPTemplates int    // live operator templates
+	CEPInstances int    // live correlation-key NFA instances
+	CEPPartials  int    // open partial matches
+	CEPFirings   uint64 // composite firings produced
+	CEPExpired   uint64 // partial matches reclaimed by expiry/cap/slide
 }
 
 type dbKey struct {
@@ -55,6 +64,13 @@ type sub struct {
 	seqNext     int
 	seqBindings map[string]datum.Value
 	conjSeen    []map[string]datum.Value
+
+	// CEP operator state (Within/During/Window/Aggregate specs): the
+	// sharded per-correlation-key automata. Immutable once defined;
+	// its own internal synchronization (per-shard locks + atomic
+	// enable/remove flags) lets top-level constituents advance it
+	// without taking Detectors.mu.
+	tmpl *cep.Template
 }
 
 // indexSnapshot is an immutable copy of the subscription index,
@@ -87,6 +103,9 @@ type Detectors struct {
 	extIdx  map[string][]*sub
 	idx     atomic.Pointer[indexSnapshot]
 	obsm    *obs.Metrics // nil-safe emission-latency observer
+
+	cepShards int    // shard count for new cep templates (0 = cep.DefaultShards)
+	cepSubs   []*sub // subscriptions holding a cep template, for stats/GC
 
 	nDBSignals, nExtSignals, nTemporal, nEmissions atomic.Uint64
 
@@ -127,6 +146,11 @@ func (d *Detectors) publishLocked() {
 	}
 	d.idx.Store(snap)
 }
+
+// SetCEPShards sets the instance-map shard count used by composite
+// (cep) templates defined afterwards. Not safe to call concurrently
+// with Define; the engine calls it once at startup.
+func (d *Detectors) SetCEPShards(n int) { d.cepShards = n }
 
 // SetAsyncErrorHandler installs a handler for errors raised by rule
 // processing of temporal events, which have no signalling caller to
@@ -184,10 +208,114 @@ func (d *Detectors) defineLocked(spec Spec, parent *sub, partIdx int) (*sub, err
 			}
 			s.children = append(s.children, child)
 		}
+	case Within:
+		if len(v.Parts) < 2 {
+			return nil, fmt.Errorf("event: within needs at least two parts")
+		}
+		if v.Window <= 0 {
+			return nil, fmt.Errorf("event: within needs a positive window")
+		}
+		cfg := cep.Config{Kind: cep.KWithin, Parts: len(v.Parts), Window: v.Window,
+			CorrelAttr: v.Correl.Attr, CorrelVar: v.Correl.Var}
+		if err := d.defineCEPLocked(s, cfg, v.Parts...); err != nil {
+			return nil, err
+		}
+	case During:
+		if v.Event == nil || v.Start == nil || v.End == nil {
+			return nil, fmt.Errorf("event: during needs event, start, and end parts")
+		}
+		cfg := cep.Config{Kind: cep.KDuring, Parts: 3,
+			CorrelAttr: v.Correl.Attr, CorrelVar: v.Correl.Var}
+		if err := d.defineCEPLocked(s, cfg, v.Event, v.Start, v.End); err != nil {
+			return nil, err
+		}
+	case Window:
+		if v.Part == nil {
+			return nil, fmt.Errorf("event: %s window needs a part", v.Mode)
+		}
+		if v.Count < 1 {
+			return nil, fmt.Errorf("event: %s window needs a positive count", v.Mode)
+		}
+		kind := cep.KSliding
+		switch v.Mode {
+		case Sliding:
+		case Tumbling:
+			kind = cep.KTumbling
+		default:
+			return nil, fmt.Errorf("event: unknown window mode %q", v.Mode)
+		}
+		cfg := cep.Config{Kind: kind, Parts: 1, Count: v.Count,
+			CorrelAttr: v.Correl.Attr, CorrelVar: v.Correl.Var}
+		if err := d.defineCEPLocked(s, cfg, v.Part); err != nil {
+			return nil, err
+		}
+	case Aggregate:
+		if v.Part == nil {
+			return nil, fmt.Errorf("event: count aggregate needs a part")
+		}
+		if v.Min < 1 {
+			return nil, fmt.Errorf("event: count aggregate needs a positive minimum")
+		}
+		if v.Window <= 0 {
+			return nil, fmt.Errorf("event: count aggregate needs a positive window")
+		}
+		cfg := cep.Config{Kind: cep.KAggregate, Parts: 1, Count: v.Min, Window: v.Window,
+			CorrelAttr: v.Correl.Attr, CorrelVar: v.Correl.Var}
+		if err := d.defineCEPLocked(s, cfg, v.Part); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("event: unsupported spec type %T", spec)
 	}
 	return s, nil
+}
+
+// defineCEPLocked builds the cep template for s and defines its
+// constituent parts as children with role indices matching the
+// template's part numbering. Caller holds d.mu.
+func (d *Detectors) defineCEPLocked(s *sub, cfg cep.Config, parts ...Spec) error {
+	s.tmpl = cep.New(cfg, d.cepShards)
+	for i, part := range parts {
+		child, err := d.defineLocked(part, s, i)
+		if err != nil {
+			return err
+		}
+		s.children = append(s.children, child)
+	}
+	d.cepSubs = append(d.cepSubs, s)
+	d.scheduleCEPGCLocked(s)
+	return nil
+}
+
+// scheduleCEPGCLocked arms the periodic partial-match GC sweep for a
+// windowed template. Caller holds d.mu. Kinds without a time window
+// reclaim state inline and need no sweep.
+func (d *Detectors) scheduleCEPGCLocked(s *sub) {
+	w := s.tmpl.Window()
+	if w <= 0 {
+		return
+	}
+	s.timer = d.clk.AfterFunc(w, func() { d.cepGC(s, w) })
+}
+
+// cepGC runs one GC sweep over a template's instances and re-arms the
+// timer. Expiry compares against the detector clock, so a virtual
+// clock drives deterministic reclamation in tests.
+func (d *Detectors) cepGC(s *sub, w time.Duration) {
+	d.mu.Lock()
+	if s.removed {
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Unlock()
+	s.tmpl.GC(d.clk.Now())
+	st := s.tmpl.Stats()
+	d.obsm.ObserveN(obs.HCEPInstances, uint64(st.Instances))
+	d.mu.Lock()
+	if !s.removed {
+		s.timer = d.clk.AfterFunc(w, func() { d.cepGC(s, w) })
+	}
+	d.mu.Unlock()
 }
 
 func (d *Detectors) defineTemporalLocked(s *sub, v Temporal) error {
@@ -296,6 +424,10 @@ func (d *Detectors) deliverLocked(s *sub, sig Signal, emits *[]emission) {
 		d.armFromBaseline(p)
 		return
 	}
+	if p.tmpl != nil {
+		d.offerLocked(p, s.partIdx, sig, emits)
+		return
+	}
 	comp, ok := p.spec.(Composite)
 	if !ok {
 		return
@@ -346,6 +478,44 @@ func (d *Detectors) deliverLocked(s *sub, sig Signal, emits *[]emission) {
 			d.deliverLocked(p, out, emits)
 		}
 	}
+}
+
+// offerLocked advances a cep template with a constituent occurrence
+// and routes completed composite firings upward (the template may
+// itself be a part of an enclosing composite). Caller holds d.mu.
+// Lock order: d.mu may be held while Offer takes a shard lock, never
+// the reverse.
+func (d *Detectors) offerLocked(p *sub, part int, sig Signal, emits *[]emission) {
+	firs := p.tmpl.Offer(cep.Occurrence{Part: part, Time: sig.Time, Txn: sig.Txn, Bindings: sig.Bindings})
+	d.obsm.ObserveN(obs.HCEPPartials, uint64(p.tmpl.Partials()))
+	for _, f := range firs {
+		out := Signal{Spec: p.spec, Time: f.Time, Txn: f.Txn, Bindings: f.Bindings}
+		d.deliverLocked(p, out, emits)
+	}
+}
+
+// offerFast is the lock-free delivery path for constituents of a
+// TOP-LEVEL cep template: the template's per-shard locks are the only
+// synchronization, so signals for different correlation keys advance
+// their automata in parallel. Safe without d.mu because the sub tree
+// shape (parent/partIdx/spec/id/tmpl) is immutable after Define, and
+// enable/remove state is read through the template's atomic flags.
+func (d *Detectors) offerFast(p *sub, part int, now time.Time, tx lock.TxnID,
+	bindings map[string]datum.Value, emits *[]emission) {
+
+	firs := p.tmpl.Offer(cep.Occurrence{Part: part, Time: now, Txn: tx, Bindings: bindings})
+	d.obsm.ObserveN(obs.HCEPPartials, uint64(p.tmpl.Partials()))
+	for _, f := range firs {
+		*emits = append(*emits, emission{id: p.id,
+			sig: Signal{Spec: p.spec, Time: f.Time, Txn: f.Txn, Bindings: f.Bindings}})
+	}
+}
+
+// cepFastEligible reports whether a matched subscription can take the
+// lock-free cep delivery path: it is a direct constituent of a
+// top-level cep template.
+func cepFastEligible(s *sub) bool {
+	return s.parent != nil && s.parent.tmpl != nil && s.parent.parent == nil
 }
 
 // armFromBaseline schedules parent's timer now that its baseline
@@ -404,19 +574,38 @@ func (d *Detectors) SignalDatabase(op Op, class string, tx lock.TxnID, bindings 
 	}
 	now := d.clk.Now()
 	var emits []emission
-	// Delivery advances composite automata, so it serializes under mu.
-	// The snapshot's sub lists may be stale relative to a concurrent
-	// Define/Delete: a just-added subscription is missed (the signal
-	// linearizes before the define) and a just-deleted one is skipped
-	// by deliverLocked's removed check.
-	d.mu.Lock()
+	// Constituents of top-level cep templates advance their sharded
+	// automata without d.mu — signals for distinct correlation keys
+	// run fully in parallel.
+	slow := 0
 	for _, k := range keys[:n] {
 		for _, s := range snap.db[k] {
-			sig := Signal{Spec: s.spec, Time: now, Txn: tx, Bindings: bindings}
-			d.deliverLocked(s, sig, &emits)
+			if cepFastEligible(s) {
+				d.offerFast(s.parent, s.partIdx, now, tx, bindings, &emits)
+			} else {
+				slow++
+			}
 		}
 	}
-	d.mu.Unlock()
+	// Delivery to everything else advances composite automata, so it
+	// serializes under mu. The snapshot's sub lists may be stale
+	// relative to a concurrent Define/Delete: a just-added
+	// subscription is missed (the signal linearizes before the
+	// define) and a just-deleted one is skipped by deliverLocked's
+	// removed check.
+	if slow > 0 {
+		d.mu.Lock()
+		for _, k := range keys[:n] {
+			for _, s := range snap.db[k] {
+				if cepFastEligible(s) {
+					continue
+				}
+				sig := Signal{Spec: s.spec, Time: now, Txn: tx, Bindings: bindings}
+				d.deliverLocked(s, sig, &emits)
+			}
+		}
+		d.mu.Unlock()
+	}
 	d.nEmissions.Add(uint64(len(emits)))
 	return d.send(emits)
 }
@@ -434,12 +623,25 @@ func (d *Detectors) SignalExternal(name string, tx lock.TxnID, args map[string]d
 	}
 	now := d.clk.Now()
 	var emits []emission
-	d.mu.Lock()
+	slow := 0
 	for _, s := range list {
-		sig := Signal{Spec: s.spec, Time: now, Txn: tx, Bindings: args}
-		d.deliverLocked(s, sig, &emits)
+		if cepFastEligible(s) {
+			d.offerFast(s.parent, s.partIdx, now, tx, args, &emits)
+		} else {
+			slow++
+		}
 	}
-	d.mu.Unlock()
+	if slow > 0 {
+		d.mu.Lock()
+		for _, s := range list {
+			if cepFastEligible(s) {
+				continue
+			}
+			sig := Signal{Spec: s.spec, Time: now, Txn: tx, Bindings: args}
+			d.deliverLocked(s, sig, &emits)
+		}
+		d.mu.Unlock()
+	}
 	d.nEmissions.Add(uint64(len(emits)))
 	return len(emits), d.send(emits)
 }
@@ -461,6 +663,15 @@ func (d *Detectors) removeLocked(s *sub) {
 	if s.timer != nil {
 		s.timer.Stop()
 		s.timer = nil
+	}
+	if s.tmpl != nil {
+		s.tmpl.SetRemoved()
+		for i, c := range d.cepSubs {
+			if c == s {
+				d.cepSubs = append(d.cepSubs[:i:i], d.cepSubs[i+1:]...)
+				break
+			}
+		}
 	}
 	delete(d.subs, s.id)
 	switch v := s.spec.(type) {
@@ -516,6 +727,12 @@ func (d *Detectors) setDisabledLocked(s *sub, disabled bool) {
 		return
 	}
 	s.disabled = disabled
+	if s.tmpl != nil {
+		// The atomic flag is what the lock-free delivery path reads;
+		// partial-match state survives a disable/enable cycle, like
+		// the or/seq/and automata.
+		s.tmpl.SetEnabled(!disabled)
+	}
 	if t, ok := s.spec.(Temporal); ok {
 		if disabled {
 			if s.timer != nil {
@@ -550,12 +767,46 @@ func (d *Detectors) Subscriptions() int {
 
 // Stats returns a snapshot of the counters.
 func (d *Detectors) Stats() Stats {
-	return Stats{
+	st := Stats{
 		DatabaseSignals: d.nDBSignals.Load(),
 		ExternalSignals: d.nExtSignals.Load(),
 		TemporalFirings: d.nTemporal.Load(),
 		Emissions:       d.nEmissions.Load(),
 	}
+	d.mu.Lock()
+	cepSubs := append([]*sub(nil), d.cepSubs...)
+	d.mu.Unlock()
+	for _, s := range cepSubs {
+		ts := s.tmpl.Stats()
+		st.CEPTemplates++
+		st.CEPInstances += ts.Instances
+		st.CEPPartials += ts.Partials
+		st.CEPFirings += ts.Fired
+		st.CEPExpired += ts.Expired
+	}
+	return st
+}
+
+// CEPShardInstances reports live NFA instances per shard, summed
+// elementwise across all cep templates — the evidence that detection
+// state (and therefore detection work) spreads over the shards.
+func (d *Detectors) CEPShardInstances() []int {
+	d.mu.Lock()
+	cepSubs := append([]*sub(nil), d.cepSubs...)
+	d.mu.Unlock()
+	var out []int
+	for _, s := range cepSubs {
+		per := s.tmpl.ShardInstances()
+		if out == nil {
+			out = make([]int, len(per))
+		}
+		for i, n := range per {
+			if i < len(out) {
+				out[i] += n
+			}
+		}
+	}
+	return out
 }
 
 // Now exposes the detector clock (used by layers that timestamp

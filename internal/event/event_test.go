@@ -63,6 +63,14 @@ func TestSpecStringRoundTrip(t *testing.T) {
 		"and(commit(), external(X))",
 		"every(commit(), 10s)",
 		"after(external(Open), 1h0m0s)",
+		"within(external(A), external(B), 30s)",
+		"within(modify(Stock), external(Confirm), external(Settle), 5m0s where ticker=$t)",
+		"during(external(Trade), external(Open), external(Close))",
+		"during(modify(Stock), external(Open), external(Close) where acct=$a)",
+		"sliding(external(Tick), 5)",
+		"tumbling(external(Tick), 100 where ticker=$t)",
+		"count(external(PriceDrop)) >= 3 within 1m0s",
+		"count(external(PriceDrop) where ticker=$t) >= 10 within 1m0s",
 	}
 	for _, src := range cases {
 		spec, err := Parse(src)
@@ -95,6 +103,16 @@ func TestParseErrors(t *testing.T) {
 		"", "bogus(X)", "modify(", "or(modify(X))", "external()",
 		"at(notatime)", "after(xyz)", "modify(Stock) trailing",
 		"seq(modify(X), )",
+		"within(external(A), 30s)",                    // needs >= 2 parts
+		"within(external(A), external(B))",            // missing duration
+		"during(external(A), external(B))",            // needs 3 parts
+		"sliding(external(A), 0)",                     // count must be >= 1
+		"tumbling(external(A), 9999999999)",           // count over the cap
+		"count(external(A)) >= 3",                     // missing within
+		"count(external(A)) > 3 within 1m",            // only >= supported
+		"count(external(A)) >= 0 within 1m",           // min must be >= 1
+		"count(external(A)) >= 3 within -1s",          // window must be positive
+		"count(external(A) where x=y) >= 3 within 1m", // var needs $
 	}
 	for _, src := range bad {
 		if _, err := Parse(src); err == nil {

@@ -1,0 +1,56 @@
+package event
+
+// Fuzz target for the event-spec parser, centered on the composite
+// grammar (within/during/sliding/tumbling/count). The parser must
+// reject arbitrary text with an error — never panic — and any text it
+// accepts must be stable: String() re-parses to an identical spec
+// (the canonical form is what rules persist and share subscriptions
+// by, so instability would split or corrupt the subscription index).
+
+import (
+	"reflect"
+	"testing"
+)
+
+func FuzzCompositeSpec(f *testing.F) {
+	seeds := []string{
+		"modify(Stock)",
+		"or(modify(Stock), delete(Stock))",
+		"seq(external(A), external(B))",
+		"and(commit(), external(X))",
+		"within(external(A), external(B), 30s)",
+		"within(modify(Stock), external(Confirm), external(Settle), 5m0s where ticker=$t)",
+		"during(external(Trade), external(Open), external(Close))",
+		"during(modify(Stock), external(Open), external(Close) where acct=$a)",
+		"sliding(external(Tick), 5)",
+		"tumbling(external(Tick), 100 where ticker=$t)",
+		"count(external(PriceDrop)) >= 3 within 1m0s",
+		"count(PriceDrop where ticker=$t) >= 10 within 1m",
+		"within(within(external(A), external(B), 10s), external(C), 1m0s)",
+		"count(seq(external(A), external(B)) where k=$v) >= 2 within 10s",
+		"within(external(A), external(B)",   // truncated
+		"count(external(A)) >= 99999999999", // overflow
+		"during(,,)",
+		"sliding(external(A), -1)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := spec.String()
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q does not re-parse: %v", text, src, err)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Fatalf("canonical form %q re-parses to a different spec (from %q)", text, src)
+		}
+		if back.String() != text {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", text, back.String())
+		}
+	})
+}

@@ -2,6 +2,7 @@ package event
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 	"unicode"
@@ -22,6 +23,21 @@ import (
 //	or(e1, e2, ...)         disjunction
 //	seq(e1, e2, ...)        sequence
 //	and(e1, e2, ...)        conjunction (extension)
+//
+// CEP operators (composite-event runtime extensions; each form takes
+// an optional trailing `where attr=$var` correlation clause that
+// partitions detection by the named binding and exposes its value to
+// conditions/actions as $var):
+//
+//	within(e1, e2, ..., 5s)              sequence within a duration
+//	during(ev, start, end)               interval relation
+//	sliding(e, 5)                        sliding count window
+//	tumbling(e, 5)                       tumbling count window
+//	count(e where a=$v) >= 10 within 1m  windowed count aggregate
+//
+// Inside the CEP forms a bare identifier is shorthand for an external
+// event: count(PriceDrop ...) means count(external(PriceDrop) ...),
+// and likewise within(PriceDrop, Confirm, 30s) etc.
 func Parse(input string) (Spec, error) {
 	p := &specParser{src: input}
 	spec, err := p.parseSpec()
@@ -209,7 +225,215 @@ func (p *specParser) parseSpec() (Spec, error) {
 		}
 		return Composite{Op: CompOp(name), Parts: parts}, nil
 
+	case "within":
+		// within(e1, ..., en, d [where attr=$var])
+		var parts []Spec
+		for {
+			save := p.pos
+			part, err := p.parsePart()
+			if err != nil {
+				// Not a spec: the duration argument starts here.
+				p.pos = save
+				break
+			}
+			parts = append(parts, part)
+			p.skipSpace()
+			if p.pos < len(p.src) && p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("event: within() needs at least two event parts")
+		}
+		d, err := p.duration("within()")
+		if err != nil {
+			return nil, err
+		}
+		c, err := p.parseOptWhere()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return Within{Parts: parts, Window: d, Correl: c}, nil
+
+	case "during":
+		// during(event, start, end [where attr=$var])
+		ev, err := p.parsePart()
+		if err != nil {
+			return nil, fmt.Errorf("event: during(): %w", err)
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		st, err := p.parsePart()
+		if err != nil {
+			return nil, fmt.Errorf("event: during(): %w", err)
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		en, err := p.parsePart()
+		if err != nil {
+			return nil, fmt.Errorf("event: during(): %w", err)
+		}
+		c, err := p.parseOptWhere()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return During{Event: ev, Start: st, End: en, Correl: c}, nil
+
+	case "sliding", "tumbling":
+		// sliding(e, N [where attr=$var])
+		part, err := p.parsePart()
+		if err != nil {
+			return nil, fmt.Errorf("event: %s(): %w", name, err)
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		n, err := p.integer(name + "()")
+		if err != nil {
+			return nil, err
+		}
+		c, err := p.parseOptWhere()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return Window{Mode: WindowMode(name), Part: part, Count: n, Correl: c}, nil
+
+	case "count":
+		// count(e [where attr=$var]) >= N within D
+		part, err := p.parsePart()
+		if err != nil {
+			return nil, err
+		}
+		c, err := p.parseOptWhere()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if err := p.expect('>'); err != nil {
+			return nil, err
+		}
+		if err := p.expect('='); err != nil {
+			return nil, err
+		}
+		n, err := p.integer("count")
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if kw := p.ident(); kw != "within" {
+			return nil, fmt.Errorf("event: count: expected 'within' at %d in %q", p.pos, p.src)
+		}
+		d, err := p.duration("count")
+		if err != nil {
+			return nil, err
+		}
+		return Aggregate{Part: part, Correl: c, Min: n, Window: d}, nil
+
 	default:
 		return nil, fmt.Errorf("event: unknown event form %q", name)
 	}
+}
+
+// token reads a bare argument token (duration or integer): raw text
+// up to the next delimiter or space.
+func (p *specParser) token() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ',' || c == '(' || c == ')' || c == '=' || c == '$' || unicode.IsSpace(rune(c)) {
+			break
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+// duration parses a positive Go duration token.
+func (p *specParser) duration(form string) (time.Duration, error) {
+	tok := p.token()
+	d, err := time.ParseDuration(tok)
+	if err != nil {
+		return 0, fmt.Errorf("event: %s: bad duration %q: %w", form, tok, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("event: %s: duration must be positive, got %q", form, tok)
+	}
+	return d, nil
+}
+
+// maxWindowCount bounds count-window and aggregate thresholds so a
+// malformed or hostile spec cannot demand unbounded per-instance
+// state.
+const maxWindowCount = 1 << 20
+
+// integer parses a positive integer token.
+func (p *specParser) integer(form string) (int, error) {
+	tok := p.token()
+	n, err := strconv.Atoi(tok)
+	if err != nil {
+		return 0, fmt.Errorf("event: %s: bad count %q: %w", form, tok, err)
+	}
+	if n < 1 || n > maxWindowCount {
+		return 0, fmt.Errorf("event: %s: count must be in [1, %d], got %d", form, maxWindowCount, n)
+	}
+	return n, nil
+}
+
+// parseOptWhere parses an optional `where attr=$var` correlation
+// clause.
+func (p *specParser) parseOptWhere() (Correl, error) {
+	save := p.pos
+	p.skipSpace()
+	if p.ident() != "where" {
+		p.pos = save
+		return Correl{}, nil
+	}
+	p.skipSpace()
+	attr := p.ident()
+	if attr == "" {
+		return Correl{}, fmt.Errorf("event: where: expected attribute name at %d in %q", p.pos, p.src)
+	}
+	if err := p.expect('='); err != nil {
+		return Correl{}, err
+	}
+	if err := p.expect('$'); err != nil {
+		return Correl{}, err
+	}
+	v := p.ident()
+	if v == "" {
+		return Correl{}, fmt.Errorf("event: where: expected variable name after $ at %d in %q", p.pos, p.src)
+	}
+	return Correl{Attr: attr, Var: v}, nil
+}
+
+// parsePart parses a CEP form's constituent event, accepting a bare
+// identifier as external-event shorthand (`PriceDrop` for
+// `external(PriceDrop)`). A bare `where` is never a part: it starts
+// the correlation clause.
+func (p *specParser) parsePart() (Spec, error) {
+	save := p.pos
+	p.skipSpace()
+	name := p.ident()
+	p.skipSpace()
+	if name != "" && name != "where" && (p.pos >= len(p.src) || p.src[p.pos] != '(') {
+		return External{Name: name}, nil
+	}
+	p.pos = save
+	return p.parseSpec()
 }

@@ -15,7 +15,7 @@ import (
 
 // randSpec generates a random event specification of bounded depth.
 func randSpec(rng *rand.Rand, depth int) Spec {
-	max := 6
+	max := 7
 	if depth <= 0 {
 		max = 4 // primitives only
 	}
@@ -46,6 +46,31 @@ func randSpec(rng *rand.Rand, depth int) Spec {
 				t.Baseline = randSpec(rng, depth-1)
 			}
 			return t
+		}
+	case 4:
+		// The windowed/interval/aggregate operators, with and without
+		// a correlation clause.
+		var correl Correl
+		if rng.Intn(2) == 0 {
+			correl = Correl{Attr: "ticker", Var: "t"}
+		}
+		switch rng.Intn(4) {
+		case 0:
+			w := Within{Window: time.Duration(rng.Intn(3600)+1) * time.Second, Correl: correl}
+			n := rng.Intn(2) + 2
+			for i := 0; i < n; i++ {
+				w.Parts = append(w.Parts, randSpec(rng, depth-1))
+			}
+			return w
+		case 1:
+			return During{Event: randSpec(rng, depth-1), Start: randSpec(rng, depth-1),
+				End: randSpec(rng, depth-1), Correl: correl}
+		case 2:
+			return Window{Mode: []WindowMode{Sliding, Tumbling}[rng.Intn(2)],
+				Part: randSpec(rng, depth-1), Count: rng.Intn(100) + 1, Correl: correl}
+		default:
+			return Aggregate{Part: randSpec(rng, depth-1), Correl: correl,
+				Min: rng.Intn(100) + 1, Window: time.Duration(rng.Intn(3600)+1) * time.Second}
 		}
 	default:
 		ops := []CompOp{Disjunction, Sequence, Conjunction}

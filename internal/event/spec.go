@@ -157,6 +157,113 @@ func (c Composite) String() string {
 	return fmt.Sprintf("%s(%s)", c.Op, strings.Join(parts, ", "))
 }
 
+// --- CEP operators (composite-event runtime extensions) ---
+//
+// The operators below extend the paper's disjunction/sequence algebra
+// along the axes of the Reaction RuleML event-processing space:
+// sequence-within-duration, interval relations, count windows, and
+// windowed aggregation. They are detected by NFA instances keyed by a
+// correlation attribute (internal/cep), not by the single automaton
+// per subscription that serves or/seq/and.
+
+// Correl names a CEP operator's correlation: constituent occurrences
+// are partitioned by the value bound to Attr (occurrences without it
+// are ignored), and firings bind that value to Var. The zero Correl
+// means uncorrelated — one global automaton instance.
+type Correl struct {
+	Attr string
+	Var  string
+}
+
+// clause renders " where attr=$var", or "" for the zero Correl.
+func (c Correl) clause() string {
+	if c.Attr == "" {
+		return ""
+	}
+	return fmt.Sprintf(" where %s=$%s", c.Attr, c.Var)
+}
+
+// Within is sequence-within-duration: the parts must occur in order,
+// all within Window of the first part's occurrence.
+type Within struct {
+	Parts  []Spec
+	Window time.Duration
+	Correl Correl
+}
+
+func (Within) isSpec() {}
+
+// String renders e.g. `within(external(A), external(B), 5s)` or
+// `within(external(A), external(B), 5s where ticker=$t)`.
+func (w Within) String() string {
+	parts := make([]string, len(w.Parts))
+	for i, p := range w.Parts {
+		parts[i] = p.String()
+	}
+	return fmt.Sprintf("within(%s, %s%s)", strings.Join(parts, ", "), w.Window, w.Correl.clause())
+}
+
+// During is the interval relation A during B: Event must occur inside
+// the interval delimited by a Start occurrence and the next End
+// occurrence. It fires once per interval containing at least one
+// Event, at the End occurrence.
+type During struct {
+	Event  Spec
+	Start  Spec
+	End    Spec
+	Correl Correl
+}
+
+func (During) isSpec() {}
+
+// String renders e.g. `during(external(A), external(S), external(E))`.
+func (d During) String() string {
+	return fmt.Sprintf("during(%s, %s, %s%s)", d.Event, d.Start, d.End, d.Correl.clause())
+}
+
+// WindowMode distinguishes the two count-window forms.
+type WindowMode string
+
+// Count-window modes.
+const (
+	Sliding  WindowMode = "sliding"  // fires on every occurrence once the window is full
+	Tumbling WindowMode = "tumbling" // fires on every Count-th occurrence, then resets
+)
+
+// Window is a count window over occurrences of Part.
+type Window struct {
+	Mode   WindowMode
+	Part   Spec
+	Count  int
+	Correl Correl
+}
+
+func (Window) isSpec() {}
+
+// String renders e.g. `sliding(external(A), 5)` or
+// `tumbling(modify(Stock), 100 where symbol=$s)`.
+func (w Window) String() string {
+	return fmt.Sprintf("%s(%s, %d%s)", w.Mode, w.Part, w.Count, w.Correl.clause())
+}
+
+// Aggregate is a windowed count aggregate: it fires when at least Min
+// occurrences of Part fall within the trailing Window, consuming them
+// (one qualifying burst fires exactly once).
+type Aggregate struct {
+	Part   Spec
+	Correl Correl
+	Min    int
+	Window time.Duration
+}
+
+func (Aggregate) isSpec() {}
+
+// String renders e.g.
+// `count(external(PriceDrop) where ticker=$t) >= 10 within 1m0s`.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("count(%s%s) >= %d within %s", a.Part, a.Correl.clause(), a.Min, a.Window)
+}
+
 // Signal is an event occurrence: which spec matched, when, in which
 // transaction (0 when outside any transaction, e.g. temporal events),
 // and the argument bindings carried to conditions and actions.
@@ -200,6 +307,26 @@ type specJSON struct {
 	Name     string            `json:"name,omitempty"`
 	CompOp   string            `json:"compOp,omitempty"`
 	Parts    []json.RawMessage `json:"parts,omitempty"`
+
+	// CEP operator fields.
+	Window int64  `json:"window,omitempty"` // duration in ns
+	Count  int    `json:"count,omitempty"`
+	Mode   string `json:"mode,omitempty"`
+	Attr   string `json:"attr,omitempty"` // correlation attribute
+	Var    string `json:"var,omitempty"`  // correlation variable
+}
+
+// marshalParts encodes a list of sub-specs.
+func marshalParts(parts ...Spec) ([]json.RawMessage, error) {
+	out := make([]json.RawMessage, 0, len(parts))
+	for _, p := range parts {
+		raw, err := MarshalSpec(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, raw)
+	}
+	return out, nil
 }
 
 // MarshalSpec encodes a spec to JSON.
@@ -236,11 +363,59 @@ func MarshalSpec(s Spec) ([]byte, error) {
 			sj.Parts = append(sj.Parts, raw)
 		}
 		return json.Marshal(sj)
+	case Within:
+		parts, err := marshalParts(v.Parts...)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(specJSON{Type: "within", Parts: parts,
+			Window: int64(v.Window), Attr: v.Correl.Attr, Var: v.Correl.Var})
+	case During:
+		parts, err := marshalParts(v.Event, v.Start, v.End)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(specJSON{Type: "during", Parts: parts,
+			Attr: v.Correl.Attr, Var: v.Correl.Var})
+	case Window:
+		parts, err := marshalParts(v.Part)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(specJSON{Type: "window", Parts: parts,
+			Mode: string(v.Mode), Count: v.Count, Attr: v.Correl.Attr, Var: v.Correl.Var})
+	case Aggregate:
+		parts, err := marshalParts(v.Part)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(specJSON{Type: "aggregate", Parts: parts,
+			Count: v.Min, Window: int64(v.Window), Attr: v.Correl.Attr, Var: v.Correl.Var})
 	case nil:
 		return []byte("null"), nil
 	default:
 		return nil, fmt.Errorf("event: cannot marshal spec of type %T", s)
 	}
+}
+
+// unmarshalParts decodes a tagged union's part list, requiring
+// exactly want parts when want >= 0.
+func unmarshalParts(sj specJSON, want int) ([]Spec, error) {
+	if want >= 0 && len(sj.Parts) != want {
+		return nil, fmt.Errorf("event: spec type %q wants %d parts, got %d", sj.Type, want, len(sj.Parts))
+	}
+	out := make([]Spec, 0, len(sj.Parts))
+	for _, raw := range sj.Parts {
+		p, err := UnmarshalSpec(raw)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("event: spec type %q has a null part", sj.Type)
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 // UnmarshalSpec decodes a spec written by MarshalSpec.
@@ -281,6 +456,34 @@ func UnmarshalSpec(b []byte) (Spec, error) {
 			c.Parts = append(c.Parts, p)
 		}
 		return c, nil
+	case "within":
+		parts, err := unmarshalParts(sj, -1)
+		if err != nil {
+			return nil, err
+		}
+		return Within{Parts: parts, Window: time.Duration(sj.Window),
+			Correl: Correl{Attr: sj.Attr, Var: sj.Var}}, nil
+	case "during":
+		parts, err := unmarshalParts(sj, 3)
+		if err != nil {
+			return nil, err
+		}
+		return During{Event: parts[0], Start: parts[1], End: parts[2],
+			Correl: Correl{Attr: sj.Attr, Var: sj.Var}}, nil
+	case "window":
+		parts, err := unmarshalParts(sj, 1)
+		if err != nil {
+			return nil, err
+		}
+		return Window{Mode: WindowMode(sj.Mode), Part: parts[0], Count: sj.Count,
+			Correl: Correl{Attr: sj.Attr, Var: sj.Var}}, nil
+	case "aggregate":
+		parts, err := unmarshalParts(sj, 1)
+		if err != nil {
+			return nil, err
+		}
+		return Aggregate{Part: parts[0], Min: sj.Count, Window: time.Duration(sj.Window),
+			Correl: Correl{Attr: sj.Attr, Var: sj.Var}}, nil
 	default:
 		return nil, fmt.Errorf("event: unknown spec type %q", sj.Type)
 	}

@@ -63,6 +63,14 @@ const (
 	// locked — the spread of write sets over the partitions. A count
 	// histogram like HWALGroup.
 	HCommitShards
+	// HCEPPartials: open partial matches in a cep template after one
+	// constituent offer — the live-state pressure of the composite
+	// event runtime. A count histogram like HWALGroup.
+	HCEPPartials
+	// HCEPInstances: live correlation-key NFA instances in a cep
+	// template, observed at each GC sweep. A count histogram like
+	// HWALGroup.
+	HCEPInstances
 
 	numHists
 )
@@ -72,12 +80,13 @@ var histNames = [numHists]string{
 	"action_exec", "wal_sync", "lock_wait", "ipc_request",
 	"commit_stall", "wal_group_size",
 	"checkpoint", "wal_bytes_reclaimed", "delta_records",
-	"commit_shards",
+	"commit_shards", "cep_partials", "cep_instances",
 }
 
 // histIsCount marks histograms whose observations are counts recorded
 // via ObserveN, not durations.
-var histIsCount = [numHists]bool{HWALGroup: true, HWALReclaimed: true, HDeltaRecords: true, HCommitShards: true}
+var histIsCount = [numHists]bool{HWALGroup: true, HWALReclaimed: true, HDeltaRecords: true,
+	HCommitShards: true, HCEPPartials: true, HCEPInstances: true}
 
 // HistNames returns the canonical histogram names in display order;
 // snapshot maps are keyed by these.

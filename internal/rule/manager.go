@@ -36,7 +36,21 @@ type Stats struct {
 	ConditionsSatisfied uint64
 	ActionsExecuted     uint64
 	AsyncErrors         uint64
+
+	// RuleFirings counts action executions per rule name. Cardinality
+	// is bounded: past MaxFiringCounters distinct names, further rules
+	// aggregate under FiringOverflowKey.
+	RuleFirings map[string]uint64 `json:",omitempty"`
 }
+
+// MaxFiringCounters bounds the per-rule firing counter map; rule
+// names beyond the cap are counted under FiringOverflowKey so an
+// unbounded rule churn cannot grow the stats snapshot without limit.
+const MaxFiringCounters = 1024
+
+// FiringOverflowKey aggregates firings of rules beyond the counter
+// cardinality cap.
+const FiringOverflowKey = "__other__"
 
 // Manager is the Rule Manager. It maps events to rules and schedules
 // condition evaluation and action execution per the coupling modes.
@@ -57,6 +71,7 @@ type Manager struct {
 	app      AppDispatcher
 	onErr    func(rule string, err error)
 	stats    Stats
+	fired    map[string]uint64 // per-rule action executions (capped)
 
 	sep sync.WaitGroup // in-flight separate firings
 }
@@ -108,7 +123,28 @@ func (m *Manager) RegisterCall(name string, fn CallFunc) {
 func (m *Manager) Stats() Stats {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return m.stats
+	st := m.stats
+	if len(m.fired) > 0 {
+		st.RuleFirings = make(map[string]uint64, len(m.fired))
+		for name, n := range m.fired {
+			st.RuleFirings[name] = n
+		}
+	}
+	return st
+}
+
+// countFiring bumps the per-rule firing counter, spilling into the
+// overflow bucket once the cardinality cap is reached.
+func (m *Manager) countFiring(name string) {
+	m.mu.Lock()
+	if m.fired == nil {
+		m.fired = map[string]uint64{}
+	}
+	if _, ok := m.fired[name]; !ok && len(m.fired) >= MaxFiringCounters {
+		name = FiringOverflowKey
+	}
+	m.fired[name]++
+	m.mu.Unlock()
 }
 
 func (m *Manager) bump(f func(*Stats)) {
@@ -893,6 +929,7 @@ func (m *Manager) execAction(tx *txn.Txn, r *Rule, sig event.Signal, primary *qu
 	tm := m.met.Timer(obs.HActionExec)
 	defer tm.Done()
 	m.bump(func(s *Stats) { s.ActionsExecuted++ })
+	m.countFiring(r.Name)
 	rows := 1
 	if primary != nil {
 		rows = len(primary.Rows)

@@ -79,7 +79,7 @@ func TestDeltaCheckpointWritesOnlyDirty(t *testing.T) {
 	}
 
 	// The delta file itself must hold exactly the 4 records.
-	sn, err := readSnapshotFile(filepath.Join(dir, deltaName(1)))
+	sn, _, err := readSnapshotFile(filepath.Join(dir, deltaName(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,6 +153,115 @@ func TestCompactionEveryK(t *testing.T) {
 	st := s.Stats()
 	if st.FullCheckpoints != 2 || st.DeltaCheckpoints != 2 {
 		t.Fatalf("stats: %d full, %d delta", st.FullCheckpoints, st.DeltaCheckpoints)
+	}
+}
+
+// TestAdaptiveCompaction checks the byte-threshold mode (CompactEvery
+// left zero): small deltas extend the chain indefinitely, but once the
+// cumulative delta bytes reach half the full snapshot's size the next
+// checkpoint compacts. The fixed-K cadence must not kick in (more than
+// 8 small deltas survive).
+func TestAdaptiveCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(newTopo(), Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// A wide base so one-record deltas are far below the threshold.
+	const n = 200
+	oids := make([]datum.OID, n)
+	for i := 0; i < n; i++ {
+		oids[i] = s.AllocOID()
+		commitOne(t, s, lock.TxnID(i+1), rec(oids[i], "C",
+			map[string]datum.Value{"v": datum.Int(int64(i))}))
+	}
+	if res, err := s.Checkpoint(); err != nil || res.Kind != "full" {
+		t.Fatalf("first checkpoint = %+v (err %v), want full", res, err)
+	}
+	// 10 one-record deltas: under the old fixed-8 default the 9th
+	// would have compacted; adaptively they all stay deltas.
+	for i := 0; i < 10; i++ {
+		commitOne(t, s, lock.TxnID(1000+i), rec(oids[i], "C",
+			map[string]datum.Value{"v": datum.Int(int64(-1 - i))}))
+		res, err := s.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Kind != "delta" {
+			t.Fatalf("small checkpoint %d kind = %q, want delta", i, res.Kind)
+		}
+	}
+	// Dirty most of the base: this delta is large, pushing the
+	// cumulative delta bytes past half the snapshot's size...
+	for i := 0; i < n*3/4; i++ {
+		commitOne(t, s, lock.TxnID(2000+i), rec(oids[i], "C",
+			map[string]datum.Value{"v": datum.Int(int64(10000 + i))}))
+	}
+	res, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "delta" {
+		t.Fatalf("large checkpoint kind = %q, want delta (threshold checks prior bytes)", res.Kind)
+	}
+	// ...so the next checkpoint, however small, compacts.
+	commitOne(t, s, 5000, rec(oids[0], "C", map[string]datum.Value{"v": datum.Int(-999)}))
+	res, err = s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "full" {
+		t.Fatalf("post-threshold checkpoint kind = %q, want full", res.Kind)
+	}
+	if names, _, err := deltaFiles(dir); err != nil || len(names) != 0 {
+		t.Fatalf("delta files after adaptive compaction: %v (err %v)", names, err)
+	}
+}
+
+// TestCheckpointOnOpen: reopening a directory whose surviving WAL
+// suffix exceeds CheckpointAfterBytes must checkpoint during Open —
+// folding the backlog into the chain instead of carrying it to the
+// next crash — without losing any replayed record.
+func TestCheckpointOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(newTopo(), Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	oids := make([]datum.OID, n)
+	for i := 0; i < n; i++ {
+		oids[i] = s.AllocOID()
+		commitOne(t, s, lock.TxnID(i+1), rec(oids[i], "C",
+			map[string]datum.Value{"v": datum.Int(int64(i))}))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The whole history is still in the WAL (never checkpointed), so
+	// any tiny threshold is exceeded at open.
+	s2, err := Open(newTopo(), Options{Dir: dir, NoSync: true, CheckpointAfterBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Checkpoints == 0 || st.FullCheckpoints == 0 {
+		t.Fatalf("no checkpoint ran at open: %+v", st)
+	}
+	if st.WALBytesReclaimed == 0 {
+		t.Fatal("checkpoint-on-open reclaimed no WAL bytes")
+	}
+	if _, err := os.Stat(filepath.Join(dir, fullSnapshotName)); err != nil {
+		t.Fatalf("no snapshot file after checkpoint-on-open: %v", err)
+	}
+	for i, oid := range oids {
+		got, ok := s2.Get(0, oid)
+		if !ok || got.Attrs["v"].AsInt() != int64(i) {
+			t.Fatalf("oid %v lost across checkpoint-on-open", oid)
+		}
 	}
 }
 

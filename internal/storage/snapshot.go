@@ -163,13 +163,15 @@ func decodeSnapshot(buf []byte) (*snapshot, error) {
 	return sn, nil
 }
 
-// readSnapshotFile reads and decodes one snapshot or delta file.
-func readSnapshotFile(path string) (*snapshot, error) {
+// readSnapshotFile reads and decodes one snapshot or delta file,
+// also reporting its encoded size for compaction accounting.
+func readSnapshotFile(path string) (*snapshot, int, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return decodeSnapshot(buf)
+	sn, err := decodeSnapshot(buf)
+	return sn, len(buf), err
 }
 
 // deltaFiles lists the chain files in dir in sequence order, returning
@@ -227,7 +229,7 @@ func (b *bySeq) Swap(i, j int) {
 func (s *Store) loadChain() (wal.LSN, error) {
 	var tip wal.LSN
 	var tipCRC uint32
-	full, err := readSnapshotFile(filepath.Join(s.dir, fullSnapshotName))
+	full, fullSize, err := readSnapshotFile(filepath.Join(s.dir, fullSnapshotName))
 	switch {
 	case errors.Is(err, os.ErrNotExist):
 		// Fresh directory (or WAL-only): chain starts empty.
@@ -242,6 +244,7 @@ func (s *Store) loadChain() (wal.LSN, error) {
 		s.installSnapshot(full)
 		tip, tipCRC = full.watermark, full.crc
 		s.haveFull = true
+		s.fullBytes = uint64(fullSize)
 	}
 
 	names, seqs, err := deltaFiles(s.dir)
@@ -249,7 +252,7 @@ func (s *Store) loadChain() (wal.LSN, error) {
 		return 0, err
 	}
 	for i, name := range names {
-		d, err := readSnapshotFile(filepath.Join(s.dir, name))
+		d, dSize, err := readSnapshotFile(filepath.Join(s.dir, name))
 		if err != nil || d.kind != snapKindDelta ||
 			d.parentWatermark != tip || d.parentCRC != tipCRC || d.watermark < tip {
 			break // end of the valid chain prefix
@@ -257,6 +260,7 @@ func (s *Store) loadChain() (wal.LSN, error) {
 		s.installSnapshot(d)
 		tip, tipCRC = d.watermark, d.crc
 		s.deltaSeq = seqs[i]
+		s.deltaBytes += uint64(dSize)
 	}
 	s.chainWatermark, s.chainCRC = tip, tipCRC
 	return tip, nil
@@ -281,17 +285,18 @@ func (s *Store) installSnapshot(sn *snapshot) {
 // writeSnapshotFile durably writes sn to name inside s.dir: encode
 // into a temp file, fsync it, rename into place, fsync the directory.
 // midSite and renameSite name the failpoints hit after the raw write
-// and after the rename. Returns sn's trailing CRC.
-func (s *Store) writeSnapshotFile(sn *snapshot, name, tmpName, midSite, renameSite string) error {
+// and after the rename. Returns the encoded size in bytes (the input
+// to adaptive compaction accounting).
+func (s *Store) writeSnapshotFile(sn *snapshot, name, tmpName, midSite, renameSite string) (int, error) {
 	buf := encodeSnapshot(sn)
 	tmp := filepath.Join(s.dir, tmpName)
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return fmt.Errorf("storage: create %s: %w", tmpName, err)
+		return 0, fmt.Errorf("storage: create %s: %w", tmpName, err)
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		return fmt.Errorf("storage: write %s: %w", tmpName, err)
+		return 0, fmt.Errorf("storage: write %s: %w", tmpName, err)
 	}
 	failpoint.Hit(midSite)
 	// fsync before the rename: the rename must never install a file
@@ -299,22 +304,22 @@ func (s *Store) writeSnapshotFile(sn *snapshot, name, tmpName, midSite, renameSi
 	if !s.noSync {
 		if err := f.Sync(); err != nil {
 			f.Close()
-			return fmt.Errorf("storage: sync %s: %w", tmpName, err)
+			return 0, fmt.Errorf("storage: sync %s: %w", tmpName, err)
 		}
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("storage: close %s: %w", tmpName, err)
+		return 0, fmt.Errorf("storage: close %s: %w", tmpName, err)
 	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
-		return fmt.Errorf("storage: install %s: %w", name, err)
+		return 0, fmt.Errorf("storage: install %s: %w", name, err)
 	}
 	failpoint.Hit(renameSite)
 	if !s.noSync {
 		if err := syncDir(s.dir); err != nil {
-			return err
+			return 0, err
 		}
 	}
-	return nil
+	return len(buf), nil
 }
 
 // SnapshotInfo is the decoded header of one snapshot or delta file,

@@ -72,10 +72,13 @@ type chain struct {
 	versions []version // oldest first; at most one per owner
 }
 
-// DefaultCompactEvery is the delta-chain length bound when Options
-// leaves CompactEvery zero: after this many delta checkpoints the next
-// checkpoint rewrites a full snapshot and drops the chain.
-const DefaultCompactEvery = 8
+// compactFraction sets the adaptive compaction threshold: when
+// CompactEvery is zero, the chain compacts once the cumulative delta
+// bytes written since the last full snapshot reach 1/compactFraction
+// of that snapshot's size. Compaction work then tracks actual churn —
+// a write-heavy store compacts often, a quiet one lets its (cheap)
+// chain grow — instead of a fixed element cadence.
+const compactFraction = 2
 
 // DefaultShards is the committed-tier partition count when Options
 // leaves Shards zero. Shard counts are rounded up to a power of two so
@@ -109,9 +112,11 @@ type Options struct {
 	// group flush; the checkpoint itself runs on its own goroutine so
 	// the triggering commit is never stalled.
 	CheckpointAfterBytes uint64
-	// CompactEvery bounds the delta chain: after this many delta
-	// checkpoints, the next Checkpoint writes a full snapshot and
-	// drops the chain. 0 means DefaultCompactEvery.
+	// CompactEvery, when >0, bounds the delta chain by element count:
+	// after this many delta checkpoints, the next Checkpoint writes a
+	// full snapshot and drops the chain. 0 selects adaptive
+	// compaction: the chain compacts once the cumulative delta bytes
+	// reach 1/2 of the last full snapshot's size.
 	CompactEvery int
 	// OnAsyncError receives errors from background (size-triggered)
 	// checkpoints. nil discards them.
@@ -182,6 +187,11 @@ type Store struct {
 	haveFull       bool
 	deltaSeq       int
 	compactEvery   int
+	// fullBytes/deltaBytes drive adaptive compaction (compactEvery ==
+	// 0): the last full snapshot's encoded size and the bytes of delta
+	// files written (or reloaded) since. Guarded by ckptMu.
+	fullBytes  uint64
+	deltaBytes uint64
 
 	// Size-trigger state: lastCkptEnd is the log end when the last
 	// checkpoint finished (growth beyond ckptAfterBytes kicks a
@@ -249,8 +259,8 @@ func roundShards(n int) int {
 // WAL, and will log all future top-level commits there.
 func Open(topo Topology, opts Options) (*Store, error) {
 	compactEvery := opts.CompactEvery
-	if compactEvery <= 0 {
-		compactEvery = DefaultCompactEvery
+	if compactEvery < 0 {
+		compactEvery = 0
 	}
 	nShards := roundShards(opts.Shards)
 	s := &Store{
@@ -314,6 +324,19 @@ func Open(topo Topology, opts Options) (*Store, error) {
 	// a WAL suffix surviving from before the crash counts as growth,
 	// so an over-threshold backlog checkpoints on the first commit.
 	s.lastCkptEnd.Store(uint64(watermark))
+	// Checkpoint-on-open: a surviving WAL suffix already past the size
+	// trigger is folded into the chain now, while the store is still
+	// private to this goroutine, rather than being replayed again on
+	// the next crash and only reclaimed after the first post-open
+	// commit. A failure here is as fatal as a recovery failure — the
+	// directory is writable-or-not, and finding out now beats finding
+	// out on the first background checkpoint.
+	if s.ckptAfterBytes > 0 && uint64(l.End())-uint64(watermark) > s.ckptAfterBytes {
+		if _, err := s.checkpoint(false); err != nil {
+			l.Close()
+			return nil, fmt.Errorf("storage: checkpoint-on-open: %w", err)
+		}
+	}
 	return s, nil
 }
 
@@ -1062,13 +1085,14 @@ type CheckpointResult struct {
 
 // Checkpoint performs one fuzzy (non-quiescent) checkpoint. It is
 // incremental and demand-driven: when a full snapshot already exists
-// and the delta chain is shorter than CompactEvery, it writes a
-// *delta* snapshot holding only the records committed since the last
-// checkpoint — O(dirty), not O(store) — chained to its parent by the
-// parent's watermark LSN and CRC. Every CompactEvery deltas (or on
-// the first checkpoint of a directory, or via Compact) it rewrites a
-// full snapshot and drops the chain. Either way it then truncates the
-// WAL prefix the chain covers.
+// and compaction is not yet due, it writes a *delta* snapshot holding
+// only the records committed since the last checkpoint — O(dirty),
+// not O(store) — chained to its parent by the parent's watermark LSN
+// and CRC. When compaction is due (adaptive byte threshold or the
+// fixed CompactEvery cadence — see compactDueLocked — or on the first
+// checkpoint of a directory, or via Compact) it rewrites a full
+// snapshot and drops the chain. Either way it then truncates the WAL
+// prefix the chain covers.
 //
 // Commits proceed concurrently: the capture iterates the shards one at
 // a time (read locks for a full scan, a brief exclusive lock per shard
@@ -1095,6 +1119,20 @@ func (s *Store) Compact() (CheckpointResult, error) {
 	return s.checkpoint(true)
 }
 
+// compactDueLocked reports whether the next checkpoint must rewrite a
+// full snapshot instead of extending the chain. Fixed-K mode
+// (CompactEvery > 0) counts chain elements; adaptive mode (the
+// default) compacts once the cumulative delta bytes reach
+// 1/compactFraction of the full snapshot's size, so a chain never
+// costs recovery more than a bounded multiple of a fresh snapshot
+// read. Caller holds ckptMu.
+func (s *Store) compactDueLocked() bool {
+	if s.compactEvery > 0 {
+		return s.deltaSeq >= s.compactEvery
+	}
+	return s.deltaBytes*compactFraction >= s.fullBytes
+}
+
 func (s *Store) checkpoint(forceFull bool) (CheckpointResult, error) {
 	if s.dir == "" {
 		return CheckpointResult{}, nil
@@ -1103,7 +1141,7 @@ func (s *Store) checkpoint(forceFull bool) (CheckpointResult, error) {
 	defer s.ckptMu.Unlock()
 	tm := s.obsm.Timer(obs.HCheckpoint)
 
-	full := forceFull || !s.haveFull || s.deltaSeq >= s.compactEvery
+	full := forceFull || !s.haveFull || s.compactDueLocked()
 
 	var watermark wal.LSN
 	if s.log != nil {
@@ -1189,11 +1227,14 @@ func (s *Store) checkpoint(forceFull bool) (CheckpointResult, error) {
 		sn := &snapshot{watermark: watermark, nextOID: nextOID, recs: recs}
 		if full {
 			sn.kind = snapKindFull
-			if err := s.writeSnapshotFile(sn, fullSnapshotName, fullSnapshotName+".tmp",
-				"storage.midSnapshot", "storage.afterRename"); err != nil {
+			nbytes, err := s.writeSnapshotFile(sn, fullSnapshotName, fullSnapshotName+".tmp",
+				"storage.midSnapshot", "storage.afterRename")
+			if err != nil {
 				restoreDirty()
 				return res, err
 			}
+			s.fullBytes = uint64(nbytes)
+			s.deltaBytes = 0
 			// Compaction: the full snapshot subsumes the chain, so the
 			// delta files are dead weight. Stale elements surviving a
 			// crash here (or a failed remove) are harmless — their
@@ -1213,11 +1254,13 @@ func (s *Store) checkpoint(forceFull bool) (CheckpointResult, error) {
 			sn.kind = snapKindDelta
 			sn.parentWatermark = s.chainWatermark
 			sn.parentCRC = s.chainCRC
-			if err := s.writeSnapshotFile(sn, deltaName(s.deltaSeq+1), "delta.tmp",
-				"storage.midDelta", "storage.afterDeltaRename"); err != nil {
+			nbytes, err := s.writeSnapshotFile(sn, deltaName(s.deltaSeq+1), "delta.tmp",
+				"storage.midDelta", "storage.afterDeltaRename")
+			if err != nil {
 				restoreDirty()
 				return res, err
 			}
+			s.deltaBytes += uint64(nbytes)
 			s.deltaSeq++
 			s.nDeltaCkpts.Add(1)
 			s.obsm.ObserveN(obs.HDeltaRecords, uint64(len(recs)))
