@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	hipac-bench [-run all|F41|F42|C1|...|C17] [-quick]
+//	hipac-bench [-run all|F41|F42|C1|...|C18] [-quick]
 //	           [-json out.json] [-compare baseline.json] [-regress-threshold 0.20]
 //
 // -json writes the metrics recorded during the run (today: C16's
-// parallel-scalability cells and C17's composite-event cells) as a
+// parallel-scalability cells, C17's composite-event cells, and C18's
+// snapshot-scan race cells) as a
 // flat name -> ns/op map; the committed BENCH_6.json baseline is
 // produced with `make bench-baseline`. -compare re-measures and fails
 // (exit 1) if any metric shared with the baseline regressed beyond
@@ -40,7 +41,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment ids (F41, F42, C1..C17), comma-separated, or all")
+	run := flag.String("run", "all", "experiment ids (F41, F42, C1..C18), comma-separated, or all")
 	quick := flag.Bool("quick", false, "smaller iteration counts")
 	jsonPath := flag.String("json", "", "write recorded metrics (name -> ns/op) to this file")
 	comparePath := flag.String("compare", "", "fail if recorded metrics regress beyond the threshold vs this baseline JSON")
@@ -109,6 +110,7 @@ var titles = map[string]string{
 	"C15": "commit p99 under size-triggered delta checkpoints",
 	"C16": "sharded-store parallel scalability: reads and commits at 1 and 8 procs",
 	"C17": "composite-event runtime: signals/sec vs active-instance count and rule fan-out",
+	"C18": "MVCC read path: long snapshot scans racing committers",
 }
 
 var experiments = map[string]func(quick bool) error{
@@ -117,7 +119,7 @@ var experiments = map[string]func(quick bool) error{
 	"C5": expC5, "C6": expC6, "C7": expC7, "C8": expC8,
 	"C9": expC9, "C10": expC10, "C11": expC11, "C12": expC12,
 	"C13": expC13, "C14": expC14, "C15": expC15, "C16": expC16,
-	"C17": expC17,
+	"C17": expC17, "C18": expC18,
 }
 
 // measure warms the path up, then runs fn iters times and returns

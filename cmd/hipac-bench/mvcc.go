@@ -1,0 +1,153 @@
+// C18 — the MVCC read-path experiment: long snapshot scans racing
+// committers. Readers run full-class queries (each pins a snapshot
+// for its whole scan) while 8 writers commit point updates into the
+// same class. Under the pre-MVCC reader/writer locking this workload
+// convoyed: a scan's shared locks stalled every committer touching
+// the same shards. With version chains the two sides only meet at the
+// atomic chain heads, so the signal is reader scan throughput,
+// committer throughput, and commit p99 — all measured together.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/workload"
+)
+
+const (
+	c18Committers = 8
+	c18Readers    = 2
+	c18Objects    = 4096
+)
+
+// expC18 runs the snapshot-scan-vs-committer race and records
+// ns-per-scan (reader side), ns-per-commit (writer side), and the
+// commit p99.
+func expC18(quick bool) error {
+	dur := 400 * time.Millisecond
+	reps := 3
+	if quick {
+		dur = 120 * time.Millisecond
+		reps = 2
+	}
+	var bestScan, bestCommit, bestP99 float64
+	for r := 0; r < reps; r++ {
+		scanNs, commitNs, p99, err := runC18(dur)
+		if err != nil {
+			return err
+		}
+		if bestScan == 0 || scanNs < bestScan {
+			bestScan = scanNs
+		}
+		if bestCommit == 0 || commitNs < bestCommit {
+			bestCommit = commitNs
+		}
+		if bestP99 == 0 || p99 < bestP99 {
+			bestP99 = p99
+		}
+	}
+	recordMetric("C18/snapscan/scan", bestScan)
+	recordMetric("C18/snapscan/commit", bestCommit)
+	recordMetric("C18/snapscan/commit-p99", bestP99)
+	row("metric", "value")
+	row("scan (full class)", time.Duration(bestScan).Round(time.Nanosecond))
+	row("commit", time.Duration(bestCommit).Round(time.Nanosecond))
+	row("commit p99", time.Duration(bestP99).Round(time.Nanosecond))
+	return nil
+}
+
+// runC18 races c18Readers full-class scanners against c18Committers
+// point committers for dur and returns (ns/scan, ns/commit, commit
+// p99 ns).
+func runC18(dur time.Duration) (scanNs, commitNs, p99 float64, err error) {
+	e, _ := workload.MustEngine()
+	defer e.Close()
+	if err = workload.DefineBase(e); err != nil {
+		return
+	}
+	oids, err := workload.SeedStocks(e, c18Objects)
+	if err != nil {
+		return
+	}
+
+	var stop atomic.Bool
+	var scans, commits atomic.Int64
+	latencies := make([][]int64, c18Committers)
+	errs := make(chan error, c18Readers+c18Committers)
+	var wg sync.WaitGroup
+
+	for w := 0; w < c18Readers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				tx := e.Begin()
+				res, qerr := e.Query(tx, "select count(*) as n from Stock s", nil)
+				if qerr != nil {
+					errs <- qerr
+					tx.Abort()
+					return
+				}
+				tx.Commit()
+				if got := res.Rows[0][0].AsInt(); got != c18Objects {
+					errs <- fmt.Errorf("scan saw %d rows, want %d", got, c18Objects)
+					return
+				}
+				scans.Add(1)
+			}
+		}()
+	}
+	for w := 0; w < c18Committers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			oid := oids[w]
+			i := 0
+			for !stop.Load() {
+				i++
+				t0 := time.Now()
+				tx := e.Begin()
+				if merr := e.Modify(tx, oid, map[string]datum.Value{
+					"price": datum.Float(float64(i))}); merr != nil {
+					errs <- merr
+					tx.Abort()
+					return
+				}
+				if cerr := tx.Commit(); cerr != nil {
+					errs <- cerr
+					return
+				}
+				latencies[w] = append(latencies[w], time.Since(t0).Nanoseconds())
+				commits.Add(1)
+			}
+		}(w)
+	}
+
+	start := time.Now()
+	timer := time.AfterFunc(dur, func() { stop.Store(true) })
+	defer timer.Stop()
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for e := range errs {
+		return 0, 0, 0, e
+	}
+	if scans.Load() == 0 || commits.Load() == 0 {
+		return 0, 0, 0, fmt.Errorf("starved side: %d scans, %d commits in %v",
+			scans.Load(), commits.Load(), dur)
+	}
+	var all []int64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p99 = float64(all[len(all)*99/100])
+	scanNs = float64(elapsed.Nanoseconds()) / float64(scans.Load())
+	commitNs = float64(elapsed.Nanoseconds()) / float64(commits.Load())
+	return scanNs, commitNs, p99, nil
+}

@@ -5,7 +5,18 @@
 // an attribute value).
 //
 // The tree is not internally synchronized; the storage layer guards it
-// with its own locking.
+// with its own locking (probes and mutations run under the owning
+// shard's mutex).
+//
+// Index entries are maintained with MVCC "add-only at install"
+// semantics: committing a new object version inserts its (key, oid)
+// pair, but entries for superseded versions are removed later, by the
+// version GC (or the commit-time inline trim), and only once no
+// surviving chain version still carries the key. A probe therefore
+// sees a superset of any snapshot's true matches — old snapshots keep
+// finding the rows they can see, and newer readers re-verify each
+// candidate against the snapshot-resolved record, so false positives
+// are filtered, never returned.
 package btree
 
 import (

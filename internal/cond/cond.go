@@ -11,6 +11,14 @@
 // queries reference no event arguments can additionally be cached
 // across events and invalidated by class modification counters
 // (incremental evaluation).
+//
+// Evaluation reads the database through a query.Reader supplied by
+// the caller. The rule manager passes a snapshot-pinned reader
+// (object.SnapshotReader): every query of a coupling group's shared
+// evaluation resolves committed data at one commit LSN — plus the
+// triggering transaction's own uncommitted effects — so a deferred
+// condition can never observe a torn view of a concurrent commit,
+// and evaluation never blocks or is blocked by committers.
 package cond
 
 import (

@@ -307,6 +307,14 @@ func (e *Engine) Get(tx *txn.Txn, oid datum.OID) (storage.Record, error) {
 	return e.Objects.Get(tx, oid)
 }
 
+// GetForUpdate returns the object after taking tx's exclusive lock —
+// use it for read-modify-write; see object.Manager.GetForUpdate.
+func (e *Engine) GetForUpdate(tx *txn.Txn, oid datum.OID) (storage.Record, error) {
+	tm := e.Obs.Metrics().Timer(obs.HOp)
+	defer tm.Done()
+	return e.Objects.GetForUpdate(tx, oid)
+}
+
 // Classes lists class definitions visible to tx.
 func (e *Engine) Classes(tx *txn.Txn) ([]object.Class, error) {
 	return e.Objects.Classes(tx)
@@ -321,7 +329,12 @@ func (e *Engine) Query(tx *txn.Txn, src string, args map[string]datum.Value) (*q
 	if err != nil {
 		return nil, err
 	}
-	return query.Eval(q, e.Objects.Reader(tx), args)
+	// Pin one snapshot for the whole evaluation: every scan and fetch
+	// of this query sees the same committed state even while
+	// committers land concurrently.
+	reader := e.Objects.SnapshotReader(tx)
+	defer reader.Close()
+	return query.Eval(q, reader, args)
 }
 
 // --- operations on events (Fig 4.1) ---

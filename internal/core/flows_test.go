@@ -388,11 +388,15 @@ func TestSerializabilityStress(t *testing.T) {
 }
 
 func transfer(e *Engine, tx *txn.Txn, from, to datum.OID, amount int64) error {
-	src, err := e.Get(tx, from)
+	// Read-modify-write must use the locking read: plain Get is a
+	// lock-free snapshot read, so two racing transfers could both
+	// read the same balance and the later write would lose the
+	// earlier one.
+	src, err := e.GetForUpdate(tx, from)
 	if err != nil {
 		return err
 	}
-	dst, err := e.Get(tx, to)
+	dst, err := e.GetForUpdate(tx, to)
 	if err != nil {
 		return err
 	}

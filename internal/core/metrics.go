@@ -45,6 +45,8 @@ func (e *Engine) WritePrometheus(w io.Writer) error {
 		{"hipac_rule_async_errors_total", s.Rules.AsyncErrors},
 		{"hipac_cep_firings_total", s.Detectors.CEPFirings},
 		{"hipac_cep_expired_partials_total", s.Detectors.CEPExpired},
+		{"hipac_store_version_gc_runs_total", s.Store.GCRuns},
+		{"hipac_store_versions_gc_reclaimed_total", s.Store.VersionsReclaimed},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.value); err != nil {
@@ -56,6 +58,22 @@ func (e *Engine) WritePrometheus(w io.Writer) error {
 	}
 	if _, err := fmt.Fprintf(w, "# TYPE hipac_store_shards gauge\nhipac_store_shards %d\n", s.Store.Shards); err != nil {
 		return err
+	}
+	// MVCC read-path gauges: the published commit frontier, the
+	// version-GC watermark (their gap = snapshot lag), and the pinned
+	// snapshot population holding that watermark back.
+	mvccGauges := []struct {
+		name  string
+		value uint64
+	}{
+		{"hipac_store_published_lsn", s.Store.PublishedLSN},
+		{"hipac_store_oldest_snapshot_lsn", s.Store.OldestSnapshotLSN},
+		{"hipac_store_live_snapshots", uint64(s.Store.LiveSnapshots)},
+	}
+	for _, g := range mvccGauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.value); err != nil {
+			return err
+		}
 	}
 	// Per-shard install counts expose heap partition skew: a hot shard
 	// shows up as one series far above the rest.

@@ -29,6 +29,16 @@
 // whichever waiter registers its edge last, and that waiter's probe
 // starts after every other edge of the cycle is in the registry and
 // every holder on the cycle already holds its item.
+//
+// Since the MVCC read path landed, readers of *committed* data bypass
+// the lock table entirely: point reads and scans resolve against
+// commit-LSN version chains at a snapshot LSN and take no shared
+// locks. The table serializes writers against writers (exclusive
+// modes, Moss inheritance) and backs the explicit locking read
+// (object.Manager.GetForUpdate) that read-modify-write transactions
+// use in place of a plain snapshot read. Shared mode remains for
+// callers that want lock-based read stability — e.g. the rule
+// manager's read locks on rule objects — not for data reads.
 package lock
 
 import (

@@ -457,9 +457,30 @@ func (m *Manager) Delete(tx *txn.Txn, oid datum.OID) error {
 	return m.signal(event.OpDelete, rec.Class, tx.ID(), bindings)
 }
 
-// Get returns the object visible to tx, taking a shared lock.
+// Get returns the object visible to tx. The read is lock-free: the
+// store resolves tx's own (or an ancestor's) uncommitted version,
+// else the newest published committed version — no shared lock, no
+// shard mutex. Writers are still correct without the lock because a
+// transaction that intends to write takes its exclusive lock first,
+// and the previous writer's commit published before releasing it.
 func (m *Manager) Get(tx *txn.Txn, oid datum.OID) (storage.Record, error) {
-	if err := tx.Lock(objItem(oid), lock.Shared); err != nil {
+	rec, ok := m.store.Get(tx.ID(), oid)
+	if !ok {
+		return storage.Record{}, fmt.Errorf("%w: %v", ErrNoSuchObject, oid)
+	}
+	return rec, nil
+}
+
+// GetForUpdate returns the object after taking tx's exclusive lock on
+// it — the SELECT FOR UPDATE idiom. Unlike the lock-free Get, the
+// returned record is guaranteed current (any prior writer published
+// its commit before releasing the lock) and stable until tx ends, so
+// it is safe to base an update on. Read-modify-write flows that use
+// plain Get instead race: two transactions can both read the same
+// version before either locks, and the second write clobbers the
+// first (a lost update).
+func (m *Manager) GetForUpdate(tx *txn.Txn, oid datum.OID) (storage.Record, error) {
+	if err := tx.Lock(objItem(oid), lock.Exclusive); err != nil {
 		return storage.Record{}, err
 	}
 	rec, ok := m.store.Get(tx.ID(), oid)

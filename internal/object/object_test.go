@@ -259,31 +259,40 @@ func TestNumericCoercion(t *testing.T) {
 }
 
 func TestIsolationBetweenTransactions(t *testing.T) {
-	// Under strict 2PL a reader of an uncommitted object BLOCKS on
-	// the creator's exclusive lock and then sees the committed state.
+	// MVCC reads never block and never see uncommitted data: a
+	// plain Get of another transaction's uncommitted create returns
+	// ErrNoSuchObject immediately, and sees the object once the
+	// creator commits. GetForUpdate, the locking read, still blocks
+	// on the creator's exclusive lock (strict 2PL for writers).
 	m, tm, _ := setup(t)
 	mustDefine(t, m, tm, stockClass)
 	t1 := tm.Begin()
 	oid, _ := m.Create(t1, "Stock", map[string]datum.Value{"symbol": datum.Str("XRX")})
 	t2 := tm.Begin()
+	if _, err := m.Get(t2, oid); !errors.Is(err, ErrNoSuchObject) {
+		t.Fatalf("uncommitted create visible to snapshot read: %v", err)
+	}
 	type getResult struct {
 		rec storage.Record
 		err error
 	}
 	done := make(chan getResult, 1)
 	go func() {
-		rec, err := m.Get(t2, oid)
+		rec, err := m.GetForUpdate(t2, oid)
 		done <- getResult{rec, err}
 	}()
 	select {
 	case r := <-done:
-		t.Fatalf("reader did not block on uncommitted create: %v %v", r.rec, r.err)
+		t.Fatalf("locking read did not block on uncommitted create: %v %v", r.rec, r.err)
 	case <-time.After(30 * time.Millisecond):
 	}
 	t1.Commit()
 	r := <-done
 	if r.err != nil || r.rec.Attrs["symbol"].AsString() != "XRX" {
 		t.Fatalf("after creator commit: %v %v", r.rec, r.err)
+	}
+	if rec, err := m.Get(t2, oid); err != nil || rec.Attrs["symbol"].AsString() != "XRX" {
+		t.Fatalf("committed create not visible to snapshot read: %v %v", rec, err)
 	}
 	t2.Commit()
 }

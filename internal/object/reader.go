@@ -3,57 +3,75 @@ package object
 import (
 	"repro/internal/btree"
 	"repro/internal/datum"
-	"repro/internal/lock"
 	"repro/internal/query"
 	"repro/internal/storage"
 	"repro/internal/txn"
 )
 
-// Reader returns a query.Reader bound to tx. The reader acquires
-// shared locks as it goes: the class extent before a scan and each
-// visited object, so queries are serializable against concurrent
-// writers.
+// Reader returns a query.Reader bound to tx. Committed data is read
+// through the store's MVCC path — no shared locks, no shard mutexes:
+// each ScanClass pins its own snapshot LSN for the duration of the
+// scan, and Fetch reads at the latest published commit. tx's own
+// uncommitted writes are always visible. For a reader whose *every*
+// read must observe one consistent snapshot (condition evaluation,
+// multi-query requests), use SnapshotReader.
 func (m *Manager) Reader(tx *txn.Txn) query.Reader {
 	return &txnReader{m: m, tx: tx}
 }
 
+// SnapshotReader returns a query.Reader pinned to a single snapshot
+// LSN taken now: every Fetch and ScanClass through it resolves
+// against the same committed state, so concurrent commits are
+// invisible for the reader's whole lifetime (the as-of-commit view
+// deferred-coupling condition evaluation requires). The pin holds the
+// version GC back; callers must Close it.
+func (m *Manager) SnapshotReader(tx *txn.Txn) *SnapshotReader {
+	return &SnapshotReader{
+		txnReader: txnReader{m: m, tx: tx, snap: m.store.AcquireSnapshot()},
+	}
+}
+
+// SnapshotReader is a query.Reader whose reads all resolve at one
+// pinned snapshot LSN. See Manager.SnapshotReader.
+type SnapshotReader struct {
+	txnReader
+}
+
+// SnapshotLSN returns the pinned commit LSN.
+func (r *SnapshotReader) SnapshotLSN() uint64 { return r.snap.LSN() }
+
+// Close releases the snapshot pin. Idempotent.
+func (r *SnapshotReader) Close() { r.snap.Release() }
+
 type txnReader struct {
 	m  *Manager
 	tx *txn.Txn
+	// snap, when non-nil, pins every read to one snapshot LSN;
+	// when nil each read resolves at the newest published commit.
+	snap *storage.Snapshot
 }
 
-// ScanClass locks the extent, snapshots the candidate OIDs, then
-// visits each object under a shared object lock. Collecting OIDs
-// first keeps lock acquisition out of the storage layer's critical
-// section.
+// ScanClass visits every live object of the class in OID order
+// against a consistent snapshot (the reader's pin, or one acquired
+// for this scan). No locks are taken — long scans never block
+// committers — so the scan is a point-in-time view, not a
+// serializable read: rows committed after the snapshot are missed by
+// design.
 func (r *txnReader) ScanClass(class string, fn func(datum.OID, map[string]datum.Value) bool) error {
-	if err := r.tx.Lock(extentItem(class), lock.Shared); err != nil {
-		return err
-	}
-	var oids []datum.OID
-	r.m.store.ScanClass(r.tx.ID(), class, func(rec storage.Record) bool {
-		oids = append(oids, rec.OID)
-		return true
-	})
-	for _, oid := range oids {
-		if err := r.tx.Lock(objItem(oid), lock.Shared); err != nil {
-			return err
-		}
-		rec, ok := r.m.store.Get(r.tx.ID(), oid)
-		if !ok || rec.Class != class {
-			continue // deleted or changed between snapshot and lock
-		}
-		if !fn(oid, rec.Attrs) {
-			return nil
-		}
+	scan := func(rec storage.Record) bool { return fn(rec.OID, rec.Attrs) }
+	if r.snap != nil {
+		r.m.store.ScanClassAt(r.tx.ID(), class, r.snap.LSN(), scan)
+	} else {
+		r.m.store.ScanClass(r.tx.ID(), class, scan)
 	}
 	return nil
 }
 
 // LookupRange probes a secondary index for candidates. Candidates are
-// returned unlocked and unverified; the evaluator fetches each via
-// Fetch (which locks) and re-checks the predicate, so false positives
-// are harmless.
+// returned unverified; the evaluator fetches each via Fetch and
+// re-checks the predicate against the snapshot-visible record, so
+// false positives (including entries for older, not yet
+// garbage-collected versions) are harmless.
 func (r *txnReader) LookupRange(class, attr string, lo, hi *datum.Value, loInc, hiInc bool) ([]datum.OID, bool) {
 	if !r.m.store.HasIndex(class, attr) {
 		return nil, false
@@ -76,12 +94,16 @@ func (r *txnReader) LookupRange(class, attr string, lo, hi *datum.Value, loInc, 
 	return r.m.store.IndexCandidates(r.tx.ID(), class, attr, loB, hiB), true
 }
 
-// Fetch returns a live object by OID under a shared lock.
+// Fetch returns a live object by OID — lock-free, at the reader's
+// snapshot (or the newest published commit when unpinned).
 func (r *txnReader) Fetch(oid datum.OID) (string, map[string]datum.Value, bool) {
-	if err := r.tx.Lock(objItem(oid), lock.Shared); err != nil {
-		return "", nil, false
+	var rec storage.Record
+	var ok bool
+	if r.snap != nil {
+		rec, ok = r.m.store.GetAt(r.tx.ID(), oid, r.snap.LSN())
+	} else {
+		rec, ok = r.m.store.Get(r.tx.ID(), oid)
 	}
-	rec, ok := r.m.store.Get(r.tx.ID(), oid)
 	if !ok {
 		return "", nil, false
 	}

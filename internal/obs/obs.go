@@ -71,6 +71,13 @@ const (
 	// template, observed at each GC sweep. A count histogram like
 	// HWALGroup.
 	HCEPInstances
+	// HVersionChain: committed version-chain length after one install —
+	// the MVCC garbage-collection pressure. A count histogram like
+	// HWALGroup.
+	HVersionChain
+	// HSnapshotRead: one snapshot class scan (pin through last record
+	// resolved), the lock-free MVCC read path.
+	HSnapshotRead
 
 	numHists
 )
@@ -81,12 +88,13 @@ var histNames = [numHists]string{
 	"commit_stall", "wal_group_size",
 	"checkpoint", "wal_bytes_reclaimed", "delta_records",
 	"commit_shards", "cep_partials", "cep_instances",
+	"version_chain_len", "snapshot_read",
 }
 
 // histIsCount marks histograms whose observations are counts recorded
 // via ObserveN, not durations.
 var histIsCount = [numHists]bool{HWALGroup: true, HWALReclaimed: true, HDeltaRecords: true,
-	HCommitShards: true, HCEPPartials: true, HCEPInstances: true}
+	HCommitShards: true, HCEPPartials: true, HCEPInstances: true, HVersionChain: true}
 
 // HistNames returns the canonical histogram names in display order;
 // snapshot maps are keyed by these.

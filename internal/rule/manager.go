@@ -642,7 +642,14 @@ func (m *Manager) fireGroup(parent *txn.Txn, rules []*Rule, sig event.Signal, sp
 		}
 		ids = append(ids, uint64(r.OID))
 	}
-	outcomes, err := m.eval.Evaluate(m.objects.Reader(gc), sig.Bindings, false, ids)
+	// The whole condition evaluation reads one pinned snapshot LSN
+	// plus the triggering transaction's own uncommitted effects (gc is
+	// its descendant): the as-of-commit view of §4.2. Commits landing
+	// *during* the evaluation are invisible, so every condition in the
+	// group judges the same database state.
+	reader := m.objects.SnapshotReader(gc)
+	outcomes, err := m.eval.Evaluate(reader, sig.Bindings, false, ids)
+	reader.Close()
 	if err != nil {
 		gc.Abort()
 		csp.End("aborted")
@@ -738,7 +745,11 @@ func (m *Manager) spawnSeparate(r *Rule, sig event.Signal) {
 			m.reportAsync(r.Name, err)
 			return
 		}
-		outcomes, err := m.eval.Evaluate(m.objects.Reader(t), sig.Bindings, true, []uint64{uint64(r.OID)})
+		// Separate firings evaluate against their own pinned snapshot
+		// too: one consistent view per evaluation.
+		reader := m.objects.SnapshotReader(t)
+		outcomes, err := m.eval.Evaluate(reader, sig.Bindings, true, []uint64{uint64(r.OID)})
+		reader.Close()
 		if err != nil {
 			t.Abort()
 			sp.End("aborted")

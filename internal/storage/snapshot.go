@@ -268,18 +268,24 @@ func (s *Store) loadChain() (wal.LSN, error) {
 
 // installSnapshot applies one decoded chain element to the store.
 // Runs during Open, before any concurrency, but takes the shard locks
-// anyway so installCommitted's contract holds.
+// anyway so installCommitted's contract holds. The whole element is
+// stamped with one fresh commit LSN — on-disk records carry no
+// version history, so recovery rebuilds single-version chains.
 func (s *Store) installSnapshot(sn *snapshot) {
 	if sn.nextOID > 0 {
 		s.raiseNextOID(sn.nextOID - 1)
 	}
+	s.cmu.Lock()
+	clsn := s.beginCommitLocked()
+	s.cmu.Unlock()
 	for _, rec := range sn.recs {
 		s.raiseNextOID(rec.OID)
 		sh := s.shardOf(rec.OID)
 		sh.mu.Lock()
-		s.installCommitted(sh, committedOwner, rec)
+		s.installCommitted(sh, committedOwner, rec, clsn)
 		sh.mu.Unlock()
 	}
+	s.endCommit(clsn)
 }
 
 // writeSnapshotFile durably writes sn to name inside s.dir: encode

@@ -1,10 +1,12 @@
 // Package storage implements the versioned object heap beneath the
-// Object Manager. Each object carries a chain of versions tagged by
-// the transaction that wrote them; a reader sees its own newest
-// version, else the newest version of an ancestor, else the last
-// committed version. Folding a child's versions into its parent at
-// nested commit gives the nested-transaction atomicity of §3.1 of the
-// paper without copying objects up front.
+// Object Manager. Each committed object carries a chain of versions
+// stamped with logical commit LSNs (see mvcc.go); uncommitted
+// versions are tagged by the transaction that wrote them. A reader
+// sees its own newest version, else the newest version of an
+// ancestor, else the newest committed version at its snapshot LSN.
+// Folding a child's versions into its parent at nested commit gives
+// the nested-transaction atomicity of §3.1 of the paper without
+// copying objects up front.
 //
 // The store is also the durability point: top-level commits append a
 // redo record to the write-ahead log before the committed tier is
@@ -12,12 +14,15 @@
 // snapshot) to recover. Only committed top-level effects are ever
 // logged, so recovery is a pure redo pass.
 //
-// The heap is hash-partitioned: object chains, per-class extents, and
-// secondary btree indexes are co-located in N shards keyed by OID,
-// each under its own RWMutex, so readers and committers touching
-// different objects never share a lock. Isolation still comes from the
-// lock manager driven by the layers above; the shard locks only keep
-// the in-memory structures coherent.
+// The heap is hash-partitioned: object entries, per-class extents,
+// and secondary btree indexes are co-located in N shards keyed by
+// OID. Reads of committed data are lock-free: entries live in
+// sync.Maps, version heads are atomic pointers, and readers resolve
+// visibility against a snapshot LSN without ever taking the shard
+// mutex or the lock table. Writers (Put, install, abort, GC) take the
+// shard mutex to keep the index/extent/dirty bookkeeping coherent.
+// Isolation still comes from the lock manager driven by the layers
+// above.
 package storage
 
 import (
@@ -63,13 +68,11 @@ type Topology interface {
 	IsAncestorOrSelf(anc, desc lock.TxnID) bool
 }
 
+// version is one uncommitted object state, tagged by the transaction
+// that wrote it. Committed states live in mvVersion chains (mvcc.go).
 type version struct {
 	owner lock.TxnID
 	rec   Record
-}
-
-type chain struct {
-	versions []version // oldest first; at most one per owner
 }
 
 // compactFraction sets the adaptive compaction threshold: when
@@ -127,16 +130,19 @@ type Options struct {
 	Obs *obs.Metrics
 }
 
-// shard is one hash partition of the heap: the object chains whose
+// shard is one hash partition of the heap: the object entries whose
 // OIDs map here, the slices of every class extent and secondary index
-// covering those OIDs, and the partition's delta-checkpoint dirty set.
-// All fields are guarded by mu.
+// covering those OIDs, and the partition's delta-checkpoint dirty and
+// GC candidate sets. objects and extents are concurrent maps read
+// lock-free by the MVCC read path; mu guards their membership
+// mutations plus indexes, ckptDirty, and gcCand.
 type shard struct {
 	mu        sync.RWMutex
-	objects   map[datum.OID]*chain
-	extents   map[string]map[datum.OID]struct{} // class -> OIDs with any version, this shard
+	objects   sync.Map                          // datum.OID -> *mvEntry
+	extents   sync.Map                          // class string -> *sync.Map (datum.OID -> struct{})
 	indexes   map[string]map[string]*btree.Tree // class -> attr -> committed-tier index, this shard
 	ckptDirty map[datum.OID]string              // OIDs committed since the last checkpoint -> class
+	gcCand    map[datum.OID]struct{}            // chains that may hold collectible versions
 	installs  atomic.Uint64                     // committed installs landed here (load/contention signal)
 }
 
@@ -173,6 +179,30 @@ type Store struct {
 	// cmu; lock order is shard locks before cmu.
 	cmu      sync.Mutex
 	inflight map[wal.LSN]struct{}
+	// Commit-LSN publish protocol (mvcc.go): nextCommit/pending are
+	// guarded by cmu; published is the contiguous prefix of completed
+	// commit LSNs, advanced under cmu and read lock-free by snapshot
+	// acquisition. pubCond (on cmu) wakes committers waiting for their
+	// LSN to publish.
+	nextCommit uint64
+	pending    map[uint64]struct{}
+	published  atomic.Uint64
+	pubCond    *sync.Cond
+
+	// Snapshot registry + version GC state (mvcc.go). gcMu serializes
+	// sweeps; gcRunning (under bgMu) single-flights the background
+	// sweep maybeKickGC starts every gcEveryCommits commits.
+	snaps     [snapStripes]snapStripe
+	snapSeq   atomic.Uint64
+	snapsLive atomic.Int64
+	gcMu      sync.Mutex
+	gcRunning bool
+	gcTick    atomic.Uint64
+
+	// loading marks the single-threaded recovery phase of Open:
+	// installs then replace chain heads outright (no history — there
+	// are no snapshots yet) and tombstones drop entries immediately.
+	loading bool
 
 	// ckptMu serializes checkpoints (they are rare; overlapping ones
 	// would race on snapshot.tmp and the chain-link state below, which
@@ -206,10 +236,11 @@ type Store struct {
 	bgWG           sync.WaitGroup
 
 	// Counters are atomic: reads (Get/Scan) bump them while holding
-	// only a shard read lock.
+	// no lock at all.
 	nPuts, nGets, nScans, nProbes, nCommits, nWALBytes atomic.Uint64
 	nCheckpoints, nFullCkpts, nDeltaCkpts              atomic.Uint64
 	nWALReclaimed                                      atomic.Uint64
+	nGCRuns, nGCReclaimed                              atomic.Uint64
 }
 
 // Stats counts store activity.
@@ -236,6 +267,16 @@ type Stats struct {
 	WALBytesReclaimed uint64
 	// Shards is the partition count of the in-memory heap.
 	Shards int
+	// PublishedLSN is the newest commit LSN visible to fresh
+	// snapshots; OldestSnapshotLSN is the version-GC watermark (equal
+	// to PublishedLSN when no snapshot is pinned); LiveSnapshots
+	// counts currently registered snapshots. GCRuns/VersionsReclaimed
+	// count version-GC sweeps and the versions they unlinked.
+	PublishedLSN      uint64
+	OldestSnapshotLSN uint64
+	LiveSnapshots     int
+	GCRuns            uint64
+	VersionsReclaimed uint64
 }
 
 // roundShards normalizes a configured shard count to a power of two in
@@ -268,6 +309,8 @@ func Open(topo Topology, opts Options) (*Store, error) {
 		shards:         make([]*shard, nShards),
 		shardMask:      uint64(nShards - 1),
 		inflight:       map[wal.LSN]struct{}{},
+		nextCommit:     1,
+		pending:        map[uint64]struct{}{},
 		compactEvery:   compactEvery,
 		ckptAfterBytes: opts.CheckpointAfterBytes,
 		onAsyncErr:     opts.OnAsyncError,
@@ -275,12 +318,15 @@ func Open(topo Topology, opts Options) (*Store, error) {
 		noSync:         opts.NoSync,
 		obsm:           opts.Obs,
 	}
+	s.pubCond = sync.NewCond(&s.cmu)
+	for i := range s.snaps {
+		s.snaps[i].live = map[*Snapshot]struct{}{}
+	}
 	for i := range s.shards {
 		s.shards[i] = &shard{
-			objects:   map[datum.OID]*chain{},
-			extents:   map[string]map[datum.OID]struct{}{},
 			indexes:   map[string]map[string]*btree.Tree{},
 			ckptDirty: map[datum.OID]string{},
+			gcCand:    map[datum.OID]struct{}{},
 		}
 	}
 	s.nextOID.Store(1)
@@ -290,6 +336,7 @@ func Open(topo Topology, opts Options) (*Store, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: mkdir %s: %w", opts.Dir, err)
 	}
+	s.loading = true
 	watermark, err := s.loadChain()
 	if err != nil {
 		return nil, err
@@ -320,6 +367,7 @@ func Open(topo Topology, opts Options) (*Store, error) {
 		l.Close()
 		return nil, fmt.Errorf("storage: recovery: %w", err)
 	}
+	s.loading = false
 	// Seed the size trigger at the chain watermark, not the log end:
 	// a WAL suffix surviving from before the crash counts as growth,
 	// so an over-threshold backlog checkpoints on the first commit.
@@ -400,41 +448,51 @@ func (s *Store) bumpSeq(class string) {
 	v.(*atomic.Uint64).Add(1)
 }
 
-// Put installs rec as tx's version of the object, replacing any prior
-// version tx wrote. The caller must already hold the appropriate
-// exclusive lock.
+// Put installs rec as tx's uncommitted version of the object,
+// replacing any prior version tx wrote. The caller must already hold
+// the appropriate exclusive lock.
 func (s *Store) Put(tx lock.TxnID, rec Record) {
 	rec = rec.clone()
 	s.nPuts.Add(1)
 	sh := s.shardOf(rec.OID)
 	sh.mu.Lock()
-	c := sh.objects[rec.OID]
-	if c == nil {
-		c = &chain{}
-		sh.objects[rec.OID] = c
-	}
+	e := s.entryLocked(sh, rec.OID)
+	e.umu.Lock()
 	replaced := false
-	for i := range c.versions {
-		if c.versions[i].owner == tx {
+	for i := range e.unc {
+		if e.unc[i].owner == tx {
 			// Replace in place, but keep recency: move to the end so
 			// the newest write wins within this owner tier.
-			v := c.versions[i]
+			v := e.unc[i]
 			v.rec = rec
-			c.versions = append(append(c.versions[:i:i], c.versions[i+1:]...), v)
+			e.unc = append(append(e.unc[:i:i], e.unc[i+1:]...), v)
 			replaced = true
 			break
 		}
 	}
 	if !replaced {
-		c.versions = append(c.versions, version{owner: tx, rec: rec})
+		e.unc = append(e.unc, version{owner: tx, rec: rec})
 	}
-	addExtent(sh, rec.Class, rec.OID)
+	e.nUnc.Store(int32(len(e.unc)))
+	e.umu.Unlock()
+	extentAdd(sh, rec.Class, rec.OID)
 	sh.mu.Unlock()
 	// Bump after the write so a stale ModSeq read can only under-claim
 	// freshness (forcing a harmless re-evaluation), never cache stale
 	// data under a new sequence number.
 	s.bumpSeq(rec.Class)
 	s.noteDirty(tx, rec.OID)
+}
+
+// entryLocked returns oid's entry, creating it if needed. Caller
+// holds sh.mu exclusively (entry membership is mutated only under it).
+func (s *Store) entryLocked(sh *shard, oid datum.OID) *mvEntry {
+	if v, ok := sh.objects.Load(oid); ok {
+		return v.(*mvEntry)
+	}
+	e := &mvEntry{}
+	sh.objects.Store(oid, e)
+	return e
 }
 
 func (s *Store) noteDirty(tx lock.TxnID, oid datum.OID) {
@@ -470,67 +528,98 @@ func (s *Store) takeDirty(tx lock.TxnID) []datum.OID {
 	return oids
 }
 
-func addExtent(sh *shard, class string, oid datum.OID) {
-	e := sh.extents[class]
-	if e == nil {
-		e = map[datum.OID]struct{}{}
-		sh.extents[class] = e
+// extentAdd records oid as a (possible) member of class's extent.
+// Membership is a superset: resolution filters tombstones and
+// invisible versions. sync.Map writes are safe without sh.mu, but all
+// callers hold it anyway (they are mutating the entry too).
+func extentAdd(sh *shard, class string, oid datum.OID) {
+	var set *sync.Map
+	if v, ok := sh.extents.Load(class); ok {
+		set = v.(*sync.Map)
+	} else {
+		v, _ := sh.extents.LoadOrStore(class, &sync.Map{})
+		set = v.(*sync.Map)
 	}
-	e[oid] = struct{}{}
+	set.Store(oid, struct{}{})
 }
 
 // Get returns the version of the object visible to tx: the newest
-// version owned by tx or an ancestor, else the committed version.
-// The second result is false if no visible version exists or the
-// visible version is a deletion tombstone (the record is still
-// returned so callers can see the tombstone's class).
+// version owned by tx or an ancestor, else the newest published
+// committed version. Lock-free for committed data — no shard mutex,
+// no lock table. The second result is false if no visible version
+// exists or the visible version is a deletion tombstone (the record
+// is still returned so callers can see the tombstone's class).
+//
+// Reading at the latest published LSN (rather than a pinned snapshot)
+// keeps writers correct under two-phase locking: a transaction
+// holding an exclusive lock always sees the newest committed state,
+// because the previous writer's commit published before its locks
+// were released.
 func (s *Store) Get(tx lock.TxnID, oid datum.OID) (Record, bool) {
-	s.nGets.Add(1)
-	sh := s.shardOf(oid)
-	sh.mu.RLock()
-	rec, ok := s.getLocked(sh, tx, oid)
-	sh.mu.RUnlock()
-	return rec, ok
+	for {
+		p := s.published.Load()
+		rec, ok := s.GetAt(tx, oid, p)
+		if ok || s.published.Load() == p {
+			return rec, ok
+		}
+		// Miss with a moved frontier: a GC cut (whose watermark is
+		// always at or below published at cut time) may have raced
+		// our read of p — versions visible at p exist only above a
+		// watermark > p, which implies published has advanced past p.
+		// Retry at the new frontier; one round suffices unless the
+		// race recurs.
+	}
 }
 
-// getLocked resolves visibility inside one shard. Caller holds sh.mu.
-func (s *Store) getLocked(sh *shard, tx lock.TxnID, oid datum.OID) (Record, bool) {
-	c := sh.objects[oid]
-	if c == nil {
+// GetAt is Get against an explicit snapshot LSN (see AcquireSnapshot).
+func (s *Store) GetAt(tx lock.TxnID, oid datum.OID, snap uint64) (Record, bool) {
+	s.nGets.Add(1)
+	v, ok := s.shardOf(oid).objects.Load(oid)
+	if !ok {
 		return Record{}, false
 	}
-	for i := len(c.versions) - 1; i >= 0; i-- {
-		v := c.versions[i]
-		if v.owner == committedOwner || v.owner == tx || s.topo.IsAncestorOrSelf(v.owner, tx) {
-			return v.rec.clone(), !v.rec.Deleted
-		}
-	}
-	return Record{}, false
+	return s.resolve(v.(*mvEntry), tx, snap)
 }
 
 // ScanClass calls fn for every live (visible, non-deleted) object of
-// the class, in ascending OID order. Scanning stops if fn returns
-// false. Shard locks are taken one at a time, and no lock is held
-// while fn runs, so fn may re-enter the store.
+// the class, in ascending OID order, against a snapshot pinned for
+// the whole scan: the result set is a consistent point-in-time view
+// even while committers land concurrently. Scanning stops if fn
+// returns false. The scan holds no shard lock at any point (the
+// extent and entries are read lock-free), so committers are never
+// blocked and fn may re-enter the store.
 func (s *Store) ScanClass(tx lock.TxnID, class string, fn func(Record) bool) {
+	h := s.AcquireSnapshot()
+	defer h.Release()
+	s.ScanClassAt(tx, class, h.lsn, fn)
+}
+
+// ScanClassAt is ScanClass against an explicit snapshot LSN. The
+// caller is responsible for keeping a Snapshot registered at or below
+// snap while it runs (otherwise the version GC may unlink versions
+// the scan needs).
+func (s *Store) ScanClassAt(tx lock.TxnID, class string, snap uint64, fn func(Record) bool) {
 	s.nScans.Add(1)
-	var oids []datum.OID
+	tm := s.obsm.Timer(obs.HSnapshotRead)
+	var recs []Record
 	for _, sh := range s.shards {
-		sh.mu.RLock()
-		for oid := range sh.extents[class] {
-			oids = append(oids, oid)
-		}
-		sh.mu.RUnlock()
-	}
-	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
-	for _, oid := range oids {
-		sh := s.shardOf(oid)
-		sh.mu.RLock()
-		rec, ok := s.getLocked(sh, tx, oid)
-		sh.mu.RUnlock()
-		if !ok || rec.Class != class {
+		ev, ok := sh.extents.Load(class)
+		if !ok {
 			continue
 		}
+		ev.(*sync.Map).Range(func(k, _ any) bool {
+			oid := k.(datum.OID)
+			if v, ok := sh.objects.Load(oid); ok {
+				if rec, ok := s.resolve(v.(*mvEntry), tx, snap); ok && rec.Class == class {
+					recs = append(recs, rec)
+				}
+			}
+			return true
+		})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].OID < recs[j].OID })
+	tm.Done()
+	for _, rec := range recs {
 		if !fn(rec) {
 			return
 		}
@@ -558,23 +647,31 @@ func (s *Store) RegisterIndex(class, attr string) {
 		}
 		t := btree.New()
 		byAttr[attr] = t
-		for oid := range sh.extents[class] {
-			c := sh.objects[oid]
-			if c == nil {
-				continue
+		ev, ok := sh.extents.Load(class)
+		if !ok {
+			sh.mu.Unlock()
+			continue
+		}
+		ev.(*sync.Map).Range(func(k, _ any) bool {
+			oid := k.(datum.OID)
+			cv, ok := sh.objects.Load(oid)
+			if !ok {
+				return true
 			}
-			for i := len(c.versions) - 1; i >= 0; i-- {
-				if c.versions[i].owner == committedOwner {
-					rec := c.versions[i].rec
-					if !rec.Deleted {
-						if v, ok := rec.Attrs[attr]; ok {
-							t.Insert(v.Key(), oid)
-						}
-					}
-					break
+			// Index every committed version, not just the head: a
+			// snapshot pinned below the head must still find its rows
+			// (the btree dedups (key, oid) pairs; stale entries are
+			// false positives callers re-verify, removed by the GC).
+			for v := cv.(*mvEntry).head.Load(); v != nil; v = v.prev.Load() {
+				if v.rec.Deleted || v.rec.Class != class {
+					continue
+				}
+				if val, ok := v.rec.Attrs[attr]; ok {
+					t.Insert(val.Key(), oid)
 				}
 			}
-		}
+			return true
+		})
 		sh.mu.Unlock()
 	}
 }
@@ -590,8 +687,12 @@ func (s *Store) HasIndex(class, attr string) bool {
 // IndexCandidates returns OIDs that *may* satisfy lo <= attr <= hi
 // for transaction tx: the committed-tier index hits plus every object
 // tx (or an ancestor) has written in the class. Callers must re-check
-// the predicate against the visible record; candidates may include
-// false positives but never miss a visible match.
+// the predicate against the visible record (at their snapshot);
+// candidates may include false positives — including entries for
+// older versions not yet garbage-collected — but never miss a match
+// visible at any live snapshot. The btree probe itself takes a brief
+// shard read-lock (trees are mutated in place by installs and the
+// GC); the subsequent record resolution is lock-free.
 func (s *Store) IndexCandidates(tx lock.TxnID, class, attr string, lo, hi btree.Bound) []datum.OID {
 	s.nProbes.Add(1)
 	if !s.HasIndex(class, attr) {
@@ -631,15 +732,26 @@ func (s *Store) IndexCandidates(tx lock.TxnID, class, attr string, lo, hi btree.
 			if _, dup := seen[oid]; dup {
 				continue
 			}
-			sh := s.shardOf(oid)
-			sh.mu.RLock()
-			if c := sh.objects[oid]; c != nil && len(c.versions) > 0 {
-				if c.versions[len(c.versions)-1].rec.Class == class {
-					seen[oid] = struct{}{}
-					out = append(out, oid)
+			cv, ok := s.shardOf(oid).objects.Load(oid)
+			if !ok {
+				continue
+			}
+			e := cv.(*mvEntry)
+			var cls string
+			e.umu.Lock()
+			if n := len(e.unc); n > 0 {
+				cls = e.unc[n-1].rec.Class
+			}
+			e.umu.Unlock()
+			if cls == "" {
+				if hv := e.head.Load(); hv != nil {
+					cls = hv.rec.Class
 				}
 			}
-			sh.mu.RUnlock()
+			if cls == class {
+				seen[oid] = struct{}{}
+				out = append(out, oid)
+			}
 		}
 		return true
 	})
@@ -672,6 +784,10 @@ func (s *Store) Stats() Stats {
 	st.FullCheckpoints = s.nFullCkpts.Load()
 	st.DeltaCheckpoints = s.nDeltaCkpts.Load()
 	st.WALBytesReclaimed = s.nWALReclaimed.Load()
+	st.PublishedLSN = s.published.Load()
+	st.OldestSnapshotLSN, st.LiveSnapshots = s.oldestSnapshotLSN()
+	st.GCRuns = s.nGCRuns.Load()
+	st.VersionsReclaimed = s.nGCReclaimed.Load()
 	if s.log != nil {
 		st.WALFsyncs = s.log.Fsyncs()
 		st.WALSyncRequests = s.log.SyncRequests()
@@ -702,35 +818,35 @@ func (s *Store) DirtyOIDs(tx lock.TxnID) []datum.OID {
 // CommitNested folds the child's versions into the parent tier.
 func (s *Store) CommitNested(child, parent lock.TxnID) error {
 	for _, oid := range s.takeDirty(child) {
-		sh := s.shardOf(oid)
-		sh.mu.Lock()
-		c := sh.objects[oid]
-		if c == nil {
-			sh.mu.Unlock()
+		v, ok := s.shardOf(oid).objects.Load(oid)
+		if !ok {
 			continue
 		}
+		e := v.(*mvEntry)
 		// Drop the parent's own older version (the child's is newer
 		// and the parent cannot roll back to it independently), then
 		// re-tag the child's version as the parent's.
-		kept := c.versions[:0]
+		e.umu.Lock()
+		kept := e.unc[:0]
 		var childV *version
-		for i := range c.versions {
-			switch c.versions[i].owner {
+		for i := range e.unc {
+			switch e.unc[i].owner {
 			case parent:
 				// superseded
 			case child:
-				v := c.versions[i]
-				childV = &v
+				cv := e.unc[i]
+				childV = &cv
 			default:
-				kept = append(kept, c.versions[i])
+				kept = append(kept, e.unc[i])
 			}
 		}
-		c.versions = kept
+		e.unc = kept
 		if childV != nil {
 			childV.owner = parent
-			c.versions = append(c.versions, *childV)
+			e.unc = append(e.unc, *childV)
 		}
-		sh.mu.Unlock()
+		e.nUnc.Store(int32(len(e.unc)))
+		e.umu.Unlock()
 		if childV != nil {
 			s.noteDirty(parent, oid)
 		}
@@ -741,13 +857,18 @@ func (s *Store) CommitNested(child, parent lock.TxnID) error {
 // CommitTop makes tx's versions durable and visible to everyone. It
 // runs in three phases so the disk flush never stalls the store:
 //
-//  1. prepare — collect the new committed states under the shard read
-//     locks of tx's write set;
-//  2. log — append the redo record and group-fsync it with no store
-//     lock held, so concurrent committers batch into shared flushes;
-//  3. install — publish the committed tier and secondary-index
-//     updates shard by shard, locking only the shards the write set
-//     maps to.
+//  1. prepare — collect the new committed states from tx's write set
+//     (uncommitted entries, under their entry mutexes);
+//  2. log — append the redo record, assign the commit LSN, and
+//     group-fsync with no store lock held, so concurrent committers
+//     batch into shared flushes;
+//  3. install, then publish — push the new versions onto their chains
+//     and update secondary indexes shard by shard (locking only the
+//     shards the write set maps to), then mark the commit LSN
+//     complete. Lock-free readers see the commit only once the
+//     published frontier crosses its LSN, which happens only when
+//     every record of this commit — and of every earlier commit — is
+//     installed, so a snapshot can never observe half a commit.
 //
 // The write-ahead invariant holds: no version installs before its log
 // record is durable. Reading the prepared records outside the shard
@@ -756,6 +877,11 @@ func (s *Store) CommitNested(child, parent lock.TxnID) error {
 // change while its single commit goroutine is here, and tx still
 // holds its exclusive locks, so no other committer touches the same
 // objects.
+//
+// CommitTop returns only after its LSN publishes (read-your-commits
+// for the caller, which releases tx's locks next). The wait is
+// bounded by earlier committers finishing their installs — their WAL
+// records were flushed by the same group commit.
 func (s *Store) CommitTop(tx lock.TxnID) error {
 	s.nCommits.Add(1)
 
@@ -763,48 +889,58 @@ func (s *Store) CommitTop(tx lock.TxnID) error {
 	oids := s.takeDirty(tx)
 	recs := make([]Record, 0, len(oids))
 	for _, oid := range oids {
-		sh := s.shardOf(oid)
-		sh.mu.RLock()
-		if c := sh.objects[oid]; c != nil {
-			for i := range c.versions {
-				if c.versions[i].owner == tx {
-					recs = append(recs, c.versions[i].rec)
+		if v, ok := s.shardOf(oid).objects.Load(oid); ok {
+			e := v.(*mvEntry)
+			e.umu.Lock()
+			for i := range e.unc {
+				if e.unc[i].owner == tx {
+					recs = append(recs, e.unc[i].rec)
 					break
 				}
 			}
+			e.umu.Unlock()
 		}
-		sh.mu.RUnlock()
+	}
+	if len(recs) == 0 {
+		return nil
 	}
 
 	// Log before install (write-ahead), outside the shard locks. The
-	// record's LSN is registered as in-flight under cmu in the same
-	// critical section as the append, so a concurrent checkpoint
-	// either sees this commit installed or holds its watermark below
-	// the record — never both missing (the watermark invariant).
+	// record's WAL LSN is registered as in-flight — and the logical
+	// commit LSN assigned — under cmu in the same critical section as
+	// the append, so a concurrent checkpoint either sees this commit
+	// installed or holds its watermark below the record (the
+	// watermark invariant), and commit-LSN order matches log order.
 	var lsn wal.LSN
+	var clsn uint64
 	logged := false
-	if s.log != nil && len(recs) > 0 {
+	if s.log != nil {
 		payload := encodeRedo(recs)
 		s.cmu.Lock()
 		var err error
 		lsn, err = s.log.Append(payload)
-		if err == nil {
-			s.inflight[lsn] = struct{}{}
-		}
-		s.cmu.Unlock()
 		if err != nil {
+			s.cmu.Unlock()
 			return err
 		}
+		s.inflight[lsn] = struct{}{}
+		clsn = s.beginCommitLocked()
+		s.cmu.Unlock()
 		logged = true
 		tm := s.obsm.Timer(obs.HCommitStall)
 		if err := s.log.SyncTo(lsn + wal.LSN(8+len(payload))); err != nil {
 			s.cmu.Lock()
 			delete(s.inflight, lsn)
+			s.endCommitLocked(clsn) // abandoned: nothing installed at clsn
 			s.cmu.Unlock()
 			return err
 		}
 		tm.Done()
 		s.nWALBytes.Add(uint64(len(payload)))
+	} else {
+		s.cmu.Lock()
+		clsn = s.beginCommitLocked()
+		s.cmu.Unlock()
 	}
 
 	// Install, shard by shard: group the write set so each shard lock
@@ -815,7 +951,7 @@ func (s *Store) CommitTop(tx lock.TxnID) error {
 		rec := recs[0]
 		sh := s.shardOf(rec.OID)
 		sh.mu.Lock()
-		s.installCommitted(sh, tx, rec)
+		s.installCommitted(sh, tx, rec, clsn)
 		if s.dir != "" {
 			// Mark for the next delta snapshot. The mark rides the
 			// same critical section as the install, so a checkpoint
@@ -826,7 +962,7 @@ func (s *Store) CommitTop(tx lock.TxnID) error {
 		sh.mu.Unlock()
 		s.bumpSeq(rec.Class)
 		nShards = 1
-	} else if len(recs) > 0 {
+	} else {
 		groups := map[*shard][]Record{}
 		for _, rec := range recs {
 			sh := s.shardOf(rec.OID)
@@ -836,7 +972,7 @@ func (s *Store) CommitTop(tx lock.TxnID) error {
 		for sh, group := range groups {
 			sh.mu.Lock()
 			for _, rec := range group {
-				s.installCommitted(sh, tx, rec)
+				s.installCommitted(sh, tx, rec, clsn)
 				if s.dir != "" {
 					sh.ckptDirty[rec.OID] = rec.Class
 				}
@@ -851,15 +987,22 @@ func (s *Store) CommitTop(tx lock.TxnID) error {
 		nShards = len(groups)
 	}
 	s.obsm.ObserveN(obs.HCommitShards, uint64(nShards))
+
+	// Publish: deregister the WAL LSN and complete the commit LSN only
+	// after every shard's install — a checkpoint scan that missed
+	// these versions must still see the LSN in flight, and a snapshot
+	// must not resolve to a partially installed commit.
+	s.cmu.Lock()
 	if logged {
-		// Deregister only after every shard's install: a checkpoint
-		// scan that missed these versions must still see the LSN in
-		// flight.
-		s.cmu.Lock()
 		delete(s.inflight, lsn)
-		s.cmu.Unlock()
+	}
+	s.endCommitLocked(clsn)
+	s.cmu.Unlock()
+	s.waitPublished(clsn)
+	if logged {
 		s.maybeKickCheckpoint()
 	}
+	s.maybeKickGC()
 	return nil
 }
 
@@ -894,52 +1037,87 @@ func (s *Store) maybeKickCheckpoint() {
 	}()
 }
 
-// installCommitted replaces the committed version of rec's object
-// (dropping owner's uncommitted copy, which is what is being
-// committed) and maintains the shard's extents and indexes. During
-// recovery the owner is committedOwner, meaning there is no
-// uncommitted copy to drop. Caller holds sh.mu exclusively; sh is
-// rec.OID's shard. The class modification counter is bumped by the
-// caller (after its shard section) — see Put for the ordering
-// argument.
-func (s *Store) installCommitted(sh *shard, owner lock.TxnID, rec Record) {
-	c := sh.objects[rec.OID]
-	if c == nil {
-		c = &chain{}
-		sh.objects[rec.OID] = c
-	}
-	kept := c.versions[:0]
-	var old *Record
-	for i := range c.versions {
-		v := c.versions[i]
-		if v.owner == committedOwner {
-			r := v.rec
-			old = &r
-			continue
-		}
-		if v.owner == owner {
-			continue // the copy being committed
-		}
-		kept = append(kept, v)
-	}
-	c.versions = kept
-	if old != nil {
-		indexRemove(sh, *old)
-	}
-	if rec.Deleted {
-		// Tombstone: no committed version is re-installed. Remove the
-		// object entirely if no uncommitted versions remain.
-		if len(c.versions) == 0 {
-			delete(sh.objects, rec.OID)
-			if e := sh.extents[rec.Class]; e != nil {
-				delete(e, rec.OID)
+// installCommitted pushes rec as the newest committed version of its
+// object, stamped with commit LSN clsn (dropping owner's uncommitted
+// copy, which is what is being committed), and maintains the shard's
+// extents and indexes. Old versions stay linked beneath the new head
+// for snapshot readers; the version GC unlinks them (and removes
+// their index entries) once no live snapshot can reach them. During
+// recovery (s.loading) the owner is committedOwner, there is no
+// history to preserve, and the head is replaced outright. Caller
+// holds sh.mu exclusively; sh is rec.OID's shard. The class
+// modification counter is bumped by the caller (after its shard
+// section) — see Put for the ordering argument.
+func (s *Store) installCommitted(sh *shard, owner lock.TxnID, rec Record, clsn uint64) {
+	if s.loading {
+		if rec.Deleted {
+			sh.objects.Delete(rec.OID)
+			if ev, ok := sh.extents.Load(rec.Class); ok {
+				ev.(*sync.Map).Delete(rec.OID)
 			}
+			return
 		}
+		e := s.entryLocked(sh, rec.OID)
+		nv := &mvVersion{lsn: clsn, rec: rec}
+		nv.depth.Store(1)
+		e.head.Store(nv)
+		extentAdd(sh, rec.Class, rec.OID)
 		return
 	}
-	c.versions = append([]version{{owner: committedOwner, rec: rec}}, c.versions...)
-	indexInsert(sh, rec)
-	addExtent(sh, rec.Class, rec.OID)
+	e := s.entryLocked(sh, rec.OID)
+	if owner != committedOwner {
+		e.umu.Lock()
+		kept := e.unc[:0]
+		for i := range e.unc {
+			if e.unc[i].owner != owner {
+				kept = append(kept, e.unc[i])
+			}
+		}
+		e.unc = kept
+		e.nUnc.Store(int32(len(e.unc)))
+		e.umu.Unlock()
+	}
+	old := e.head.Load()
+	nv := &mvVersion{lsn: clsn, rec: rec}
+	depth := uint32(1)
+	if old != nil {
+		nv.prev.Store(old)
+		depth = old.depth.Load() + 1
+	}
+	nv.depth.Store(depth)
+	// The head store is the publication point for this version: the
+	// record was cloned at Put and is immutable from here on, so a
+	// lock-free reader that loads the new head sees it fully built.
+	// (Visibility to *snapshots* additionally waits for the commit
+	// LSN to publish — see CommitTop.)
+	e.head.Store(nv)
+	s.obsm.ObserveN(obs.HVersionChain, uint64(depth))
+	if !rec.Deleted {
+		indexInsert(sh, rec)
+		extentAdd(sh, rec.Class, rec.OID)
+	}
+	if old != nil || rec.Deleted {
+		// Inline trim: with no snapshot registered anywhere, versions
+		// below the one the published frontier resolves to are
+		// already unreachable — cut them (and their index entries)
+		// now rather than letting a hot chain grow until the next
+		// background sweep pins a pile of dead attr maps in the heap.
+		// Safe against racing registrations because AcquireSnapshot
+		// bumps the live count before reading published: a count of 0
+		// here means any registration we missed pins an LSN at or
+		// above the watermark this cut uses.
+		if s.snapsLive.Load() == 0 {
+			var r GCResult
+			done := s.gcChain(sh, rec.OID, s.published.Load(), &r)
+			if r.Reclaimed > 0 {
+				s.nGCReclaimed.Add(uint64(r.Reclaimed))
+			}
+			if done {
+				return
+			}
+		}
+		sh.gcCand[rec.OID] = struct{}{}
+	}
 }
 
 // AbortTxn discards tx's versions.
@@ -948,26 +1126,32 @@ func (s *Store) AbortTxn(tx lock.TxnID) {
 	for _, oid := range s.takeDirty(tx) {
 		sh := s.shardOf(oid)
 		sh.mu.Lock()
-		c := sh.objects[oid]
-		if c == nil {
+		v, ok := sh.objects.Load(oid)
+		if !ok {
 			sh.mu.Unlock()
 			continue
 		}
-		kept := c.versions[:0]
+		e := v.(*mvEntry)
+		e.umu.Lock()
+		kept := e.unc[:0]
 		var class string
-		for i := range c.versions {
-			if c.versions[i].owner == tx {
-				class = c.versions[i].rec.Class
+		for i := range e.unc {
+			if e.unc[i].owner == tx {
+				class = e.unc[i].rec.Class
 				continue
 			}
-			kept = append(kept, c.versions[i])
+			kept = append(kept, e.unc[i])
 		}
-		c.versions = kept
-		if len(c.versions) == 0 {
-			delete(sh.objects, oid)
+		e.unc = kept
+		e.nUnc.Store(int32(len(kept)))
+		empty := len(kept) == 0 && e.head.Load() == nil
+		e.umu.Unlock()
+		if empty {
+			// Never committed and no other writer: drop the entry.
+			sh.objects.Delete(oid)
 			if class != "" {
-				if e := sh.extents[class]; e != nil {
-					delete(e, oid)
+				if ev, ok := sh.extents.Load(class); ok {
+					ev.(*sync.Map).Delete(oid)
 				}
 			}
 		}
@@ -985,14 +1169,6 @@ func indexInsert(sh *shard, rec Record) {
 	for attr, t := range sh.indexes[rec.Class] {
 		if v, ok := rec.Attrs[attr]; ok {
 			t.Insert(v.Key(), rec.OID)
-		}
-	}
-}
-
-func indexRemove(sh *shard, rec Record) {
-	for attr, t := range sh.indexes[rec.Class] {
-		if v, ok := rec.Attrs[attr]; ok {
-			t.Delete(v.Key(), rec.OID)
 		}
 	}
 }
@@ -1051,17 +1227,22 @@ func decodeRedo(payload []byte) ([]Record, error) {
 	return recs, nil
 }
 
-// applyRedo applies one WAL record during recovery.
+// applyRedo applies one WAL record during recovery. Each redo batch
+// was one commit, so it gets one fresh commit LSN (recovery is
+// single-threaded; endCommit publishes it immediately).
 func (s *Store) applyRedo(payload []byte) error {
 	recs, err := decodeRedo(payload)
 	if err != nil {
 		return err
 	}
+	s.cmu.Lock()
+	clsn := s.beginCommitLocked()
+	s.cmu.Unlock()
 	for _, rec := range recs {
 		s.raiseNextOID(rec.OID)
 		sh := s.shardOf(rec.OID)
 		sh.mu.Lock()
-		s.installCommitted(sh, committedOwner, rec)
+		s.installCommitted(sh, committedOwner, rec, clsn)
 		// Replayed records are newer than the on-disk chain (their
 		// LSNs are at or above its watermark), so the next delta must
 		// carry them.
@@ -1069,6 +1250,7 @@ func (s *Store) applyRedo(payload []byte) error {
 		sh.mu.Unlock()
 		s.bumpSeq(rec.Class)
 	}
+	s.endCommit(clsn)
 	return nil
 }
 
@@ -1166,14 +1348,16 @@ func (s *Store) checkpoint(forceFull bool) (CheckpointResult, error) {
 	if full {
 		for _, sh := range s.shards {
 			sh.mu.Lock()
-			for _, c := range sh.objects {
-				for i := range c.versions {
-					if c.versions[i].owner == committedOwner {
-						recs = append(recs, c.versions[i].rec)
-						break
-					}
+			// The capture reads each chain's newest installed head —
+			// published or not. An unpublished head's WAL record is
+			// already durable (write-ahead) and its LSN is still in
+			// flight, so it is at or above the watermark either way.
+			sh.objects.Range(func(_, v any) bool {
+				if hv := v.(*mvEntry).head.Load(); hv != nil && !hv.rec.Deleted {
+					recs = append(recs, hv.rec)
 				}
-			}
+				return true
+			})
 			taken = append(taken, sh.ckptDirty)
 			sh.ckptDirty = make(map[datum.OID]string, 8)
 			sh.mu.Unlock()
@@ -1289,19 +1473,19 @@ func (s *Store) checkpoint(forceFull bool) (CheckpointResult, error) {
 	return res, nil
 }
 
-// committedInShard returns oid's committed version. Caller holds
-// sh.mu (read or write); sh is oid's shard.
+// committedInShard returns oid's newest committed version (tombstones
+// read as absent). Caller holds sh.mu (read or write); sh is oid's
+// shard.
 func committedInShard(sh *shard, oid datum.OID) (Record, bool) {
-	c := sh.objects[oid]
-	if c == nil {
+	v, ok := sh.objects.Load(oid)
+	if !ok {
 		return Record{}, false
 	}
-	for i := range c.versions {
-		if c.versions[i].owner == committedOwner {
-			return c.versions[i].rec, true
-		}
+	hv := v.(*mvEntry).head.Load()
+	if hv == nil || hv.rec.Deleted {
+		return Record{}, false
 	}
-	return Record{}, false
+	return hv.rec, true
 }
 
 // syncDir fsyncs a directory so a just-renamed entry survives a crash.

@@ -245,14 +245,17 @@ func TestShardedStoreStress(t *testing.T) {
 }
 
 // checkShardInvariants asserts the partitioning is well-formed: every
-// object chain and extent member is in the shard its OID hashes to,
-// and no OID appears in two shards. White-box by design.
+// object entry and extent member is in the shard its OID hashes to,
+// no OID appears in two shards, and every version chain is strictly
+// LSN-descending with head depth at least the chain length. White-box
+// by design.
 func checkShardInvariants(t *testing.T, s *Store) {
 	t.Helper()
 	seen := map[datum.OID]bool{}
 	for i, sh := range s.shards {
 		sh.mu.RLock()
-		for oid := range sh.objects {
+		sh.objects.Range(func(k, v any) bool {
+			oid := k.(datum.OID)
 			if s.shardOf(oid) != sh {
 				t.Errorf("shard %d: oid %v hashes elsewhere", i, oid)
 			}
@@ -260,17 +263,35 @@ func checkShardInvariants(t *testing.T, s *Store) {
 				t.Errorf("oid %v present in two shards", oid)
 			}
 			seen[oid] = true
-		}
-		for cls, ext := range sh.extents {
-			for oid := range ext {
+			e := v.(*mvEntry)
+			n := uint32(0)
+			last := uint64(0)
+			for mv := e.head.Load(); mv != nil; mv = mv.prev.Load() {
+				n++
+				if last != 0 && mv.lsn >= last {
+					t.Errorf("oid %v: chain not LSN-descending (%d after %d)", oid, mv.lsn, last)
+				}
+				last = mv.lsn
+				if mv.rec.OID != oid {
+					t.Errorf("oid %v: chain holds record for %v", oid, mv.rec.OID)
+				}
+			}
+			if hv := e.head.Load(); hv != nil && hv.depth.Load() < n {
+				t.Errorf("oid %v: head depth %d below chain length %d", oid, hv.depth.Load(), n)
+			}
+			return true
+		})
+		sh.extents.Range(func(ck, ev any) bool {
+			cls := ck.(string)
+			ev.(*sync.Map).Range(func(ok2, _ any) bool {
+				oid := ok2.(datum.OID)
 				if s.shardOf(oid) != sh {
 					t.Errorf("shard %d extent %q: oid %v hashes elsewhere", i, cls, oid)
 				}
-				if _, ok := sh.objects[oid]; !ok {
-					t.Errorf("shard %d extent %q: oid %v has no chain", i, cls, oid)
-				}
-			}
-		}
+				return true
+			})
+			return true
+		})
 		sh.mu.RUnlock()
 	}
 }

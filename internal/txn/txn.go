@@ -14,6 +14,14 @@
 // deferred-firing processing runs as a pre-commit hook, exactly as in
 // §6.3: the "commit event signal" is delivered before commit
 // processing completes).
+//
+// Top-level commit has a visibility contract with the MVCC store: the
+// storage participant's CommitTop returns only after the commit's
+// LSN is published (visible to fresh snapshots), and the manager
+// releases the transaction's locks only after every participant
+// commits. A writer that acquires those locks next therefore always
+// reads the previous writer's effects, which is what lets plain reads
+// skip the lock table entirely.
 package txn
 
 import (
