@@ -378,6 +378,37 @@ func (s *shell) exec(line string) error {
 			rep.Kind, rep.Records, rep.Reclaimed)
 		return nil
 
+	case "repl-status":
+		rep, err := s.c.ReplStatus()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "role:  %s\n", rep.Role)
+		switch rep.Role {
+		case "replica":
+			fmt.Fprintf(s.out, "primary:     %s\n", rep.Primary)
+			fmt.Fprintf(s.out, "state:       %s\n", rep.State)
+			fmt.Fprintf(s.out, "applied lsn: %d (generation %d)\n", rep.AppliedLSN, rep.Generation)
+			fmt.Fprintf(s.out, "primary lsn: %d (lag %d bytes, last batch %.3fms behind)\n",
+				rep.FlushedLSN, rep.LagBytes, float64(rep.LagNanos)/1e6)
+			fmt.Fprintf(s.out, "batches:     %d applied, %d reconnects, %d bootstraps\n",
+				rep.Batches, rep.Reconnects, rep.Bootstraps)
+		default:
+			fmt.Fprintf(s.out, "flushed lsn: %d\n", rep.FlushedLSN)
+			fmt.Fprintf(s.out, "followers:   %d attached, %d batches shipped, %d resyncs served\n",
+				rep.Connections, rep.Batches, rep.Bootstraps)
+		}
+		return nil
+
+	case "promote":
+		rep, err := s.c.Promote()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "promoted at applied lsn %d; the node is restarting as a writable primary\n",
+			rep.AppliedLSN)
+		return nil
+
 	case "snapshot":
 		// Local file inspection; useful alongside a live session when
 		// the durability directory is on the same host.
@@ -536,6 +567,7 @@ const helpText = `commands:
   fire <rule> [<param>=<value> ...]
   stats | graph | trace last [n]
   checkpoint
+  repl-status | promote
   snapshot inspect <path>
   quit`
 

@@ -9,9 +9,17 @@
 //	       [-group-window 0] [-checkpoint-interval 0]
 //	       [-checkpoint-after-bytes 0] [-checkpoint-compact-every 0]
 //	       [-store-shards 16] [-cep-shards 16] [-metrics :9090]
+//	       [-repl-listen 127.0.0.1:4816] [-replica-of HOST:4816]
 //
 // With -metrics, an HTTP listener serves the engine's counters and
 // latency histograms in Prometheus text format at /metrics.
+//
+// With -repl-listen (and no -replica-of), the node additionally ships
+// its WAL to read replicas on that address. With -replica-of, the
+// node runs as a read replica of the named primary: it bootstraps
+// from the primary's snapshot chain into -dir, tails its WAL stream,
+// and serves read-only traffic on -addr until `hipac-cli promote`
+// recovers it into a normal writable server.
 package main
 
 import (
@@ -21,9 +29,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/repl"
 	"repro/internal/server"
 )
 
@@ -44,7 +54,17 @@ func main() {
 	cepShards := flag.Int("cep-shards", 0,
 		"hash partitions of each composite-event template's correlation-instance map (0: default 16)")
 	metrics := flag.String("metrics", "", "Prometheus /metrics listen address (empty: disabled)")
+	replListen := flag.String("repl-listen", "",
+		"WAL shipping listen address for read replicas (empty: replication disabled)")
+	replicaOf := flag.String("replica-of", "",
+		"run as a read replica of the primary's -repl-listen address (requires -dir)")
 	flag.Parse()
+
+	if *replicaOf != "" {
+		runReplica(*addr, *dir, *replicaOf, *metrics, replicaConfig{
+			nosync: *nosync, shards: *shards, ckptBytes: *ckptBytes, ckptCompact: *ckptCompact})
+		return
+	}
 
 	eng, err := core.Open(core.Options{Dir: *dir, NoSync: *nosync, GroupCommitWindow: *window,
 		CheckpointInterval: *ckptEvery, CheckpointAfterBytes: *ckptBytes,
@@ -54,23 +74,30 @@ func main() {
 	}
 	srv := server.New(eng)
 
-	var msrv *http.Server
-	if *metrics != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-			if err := eng.WritePrometheus(w); err != nil {
-				log.Printf("hipacd: metrics: %v", err)
-			}
-		})
-		msrv = &http.Server{Addr: *metrics, Handler: mux}
+	var prim *repl.Primary
+	if *replListen != "" {
+		if *dir == "" {
+			log.Fatalf("hipacd: -repl-listen needs -dir (an in-memory store has no WAL to ship)")
+		}
+		prim = repl.NewPrimary(eng.Store, eng.Obs.Metrics())
+		srv.SetReplStatus(prim.Status)
 		go func() {
-			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				log.Printf("hipacd: metrics listener: %v", err)
+			if err := prim.ListenAndServe(*replListen); err != nil {
+				log.Printf("hipacd: repl listener: %v", err)
 			}
 		}()
-		fmt.Printf("hipacd: metrics on http://%s/metrics\n", *metrics)
+		fmt.Printf("hipacd: shipping WAL on %s\n", *replListen)
 	}
+
+	msrv := serveMetrics(*metrics, func(w http.ResponseWriter) error {
+		if err := eng.WritePrometheus(w); err != nil {
+			return err
+		}
+		if prim != nil {
+			return prim.WritePrometheus(w)
+		}
+		return nil
+	})
 
 	// The signal goroutine only closes the server; ListenAndServe then
 	// returns nil (close is flagged before the listener shuts), and
@@ -86,6 +113,9 @@ func main() {
 
 	fmt.Printf("hipacd: serving on %s (dir=%q)\n", *addr, *dir)
 	serveErr := srv.ListenAndServe(*addr)
+	if prim != nil {
+		prim.Close()
+	}
 	if msrv != nil {
 		msrv.Close()
 	}
@@ -95,4 +125,114 @@ func main() {
 	if serveErr != nil {
 		log.Fatalf("hipacd: %v", serveErr)
 	}
+}
+
+type replicaConfig struct {
+	nosync      bool
+	shards      int
+	ckptBytes   uint64
+	ckptCompact int
+}
+
+// runReplica serves read-only traffic from a replica of the primary
+// until promoted: then it stops the replica server, reopens the data
+// directory as a full engine, and serves writable traffic on the same
+// address.
+func runReplica(addr, dir, primaryAddr, metrics string, cfg replicaConfig) {
+	if dir == "" {
+		log.Fatalf("hipacd: -replica-of needs -dir")
+	}
+	rep, err := repl.Open(repl.Options{Dir: dir, PrimaryAddr: primaryAddr,
+		NoSync: cfg.nosync, Shards: cfg.shards,
+		CheckpointAfterBytes: cfg.ckptBytes, CompactEvery: cfg.ckptCompact})
+	if err != nil {
+		log.Fatalf("hipacd: open replica: %v", err)
+	}
+
+	var promotedDir atomic.Value // string: set once Promote succeeds
+	promoteCh := make(chan struct{})
+	readSrv := repl.NewServer(rep, func() (uint64, error) {
+		applied := uint64(rep.AppliedLSN())
+		d, err := rep.Promote()
+		if err != nil {
+			return 0, err
+		}
+		promotedDir.Store(d)
+		close(promoteCh)
+		return applied, nil
+	})
+
+	msrv := serveMetrics(metrics, func(w http.ResponseWriter) error {
+		return rep.WritePrometheus(w)
+	})
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-sigCh:
+			log.Printf("hipacd: shutting down")
+		case <-promoteCh:
+			log.Printf("hipacd: promoted; restarting as primary")
+		}
+		readSrv.Close()
+	}()
+
+	fmt.Printf("hipacd: replica of %s serving reads on %s (dir=%q)\n", primaryAddr, addr, dir)
+	serveErr := readSrv.ListenAndServe(addr)
+	if msrv != nil {
+		msrv.Close()
+	}
+	d, wasPromoted := promotedDir.Load().(string)
+	if !wasPromoted {
+		rep.Close()
+		if serveErr != nil {
+			log.Fatalf("hipacd: %v", serveErr)
+		}
+		return
+	}
+
+	// Promotion: the replica store is closed and flushed; reopen it as
+	// a writable engine on the same address. The brief listener gap is
+	// the cost of the manual-failover design.
+	eng, err := core.Open(core.Options{Dir: d, NoSync: cfg.nosync, StoreShards: cfg.shards})
+	if err != nil {
+		log.Fatalf("hipacd: promote: open engine on %s: %v", d, err)
+	}
+	srv := server.New(eng)
+	go func() {
+		<-sigCh
+		log.Printf("hipacd: shutting down")
+		srv.Close()
+	}()
+	fmt.Printf("hipacd: promoted; serving writes on %s (dir=%q)\n", addr, d)
+	serveErr = srv.ListenAndServe(addr)
+	if err := eng.Close(); err != nil {
+		log.Printf("hipacd: close: %v", err)
+	}
+	if serveErr != nil {
+		log.Fatalf("hipacd: %v", serveErr)
+	}
+}
+
+// serveMetrics starts the Prometheus listener when addr is set.
+func serveMetrics(addr string, write func(http.ResponseWriter) error) *http.Server {
+	if addr == "" {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := write(w); err != nil {
+			log.Printf("hipacd: metrics: %v", err)
+		}
+	})
+	msrv := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("hipacd: metrics listener: %v", err)
+		}
+	}()
+	fmt.Printf("hipacd: metrics on http://%s/metrics\n", addr)
+	return msrv
 }

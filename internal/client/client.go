@@ -405,6 +405,28 @@ func (c *Client) Checkpoint() (*ipc.CheckpointRep, error) {
 	return &rep, nil
 }
 
+// ReplStatus reports the node's replication role and state: a
+// primary's follower connections and durable frontier, or a replica's
+// applied frontier, lag, and catchup counters.
+func (c *Client) ReplStatus() (*ipc.ReplStatusRep, error) {
+	var rep ipc.ReplStatusRep
+	if err := c.call(ipc.OpReplStatus, nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Promote asks a replica to detach from its primary and recover into
+// a writable store, reporting the applied LSN it promoted at. A
+// primary answers with an error.
+func (c *Client) Promote() (*ipc.PromoteRep, error) {
+	var rep ipc.PromoteRep
+	if err := c.call(ipc.OpPromote, nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
 // Trace fetches the server's newest finished firing trees, newest
 // first (n <= 0 means all retained).
 func (c *Client) Trace(n int) ([]obs.SpanSnapshot, error) {

@@ -155,6 +155,8 @@ const (
 	OpTrace       = "trace"
 	OpGraph       = "graph"
 	OpCheckpoint  = "checkpoint"
+	OpReplStatus  = "replStatus"
+	OpPromote     = "promote"
 )
 
 // TxnRef names a transaction in requests.
@@ -304,6 +306,47 @@ type CheckpointRep struct {
 	Records int `json:"records"`
 	// Reclaimed is the number of WAL bytes truncated away.
 	Reclaimed uint64 `json:"reclaimed"`
+}
+
+// ReplStatusRep describes the replication state of the answering
+// node. A primary reports its durable frontier and attached follower
+// count; a replica reports its applied frontier, the primary frontier
+// it last heard, and its catchup counters.
+type ReplStatusRep struct {
+	// Role is "primary", "replica", or "promoted".
+	Role string `json:"role"`
+	// Primary is the upstream address (replica only).
+	Primary string `json:"primary,omitempty"`
+	// State is the replica stream state: connecting, bootstrapping, or
+	// streaming.
+	State string `json:"state,omitempty"`
+	// AppliedLSN is the replica's applied frontier.
+	AppliedLSN uint64 `json:"appliedLsn,omitempty"`
+	// FlushedLSN is the durable WAL frontier: the node's own on a
+	// primary, the last one heard from upstream on a replica.
+	FlushedLSN uint64 `json:"flushedLsn,omitempty"`
+	// LagBytes is FlushedLSN - AppliedLSN on a replica (0 when caught
+	// up or unknown).
+	LagBytes uint64 `json:"lagBytes,omitempty"`
+	// LagNanos is the last observed send-to-apply latency.
+	LagNanos int64 `json:"lagNanos,omitempty"`
+	// Generation counts bootstrap generations of the replica's store.
+	Generation int `json:"generation,omitempty"`
+	// Bootstraps counts chain ships (resyncs served, on a primary).
+	Bootstraps uint64 `json:"bootstraps,omitempty"`
+	// Reconnects counts stream reconnection attempts.
+	Reconnects uint64 `json:"reconnects,omitempty"`
+	// Batches counts replicated commit batches applied (shipped, on a
+	// primary).
+	Batches uint64 `json:"batches,omitempty"`
+	// Connections is the number of attached followers (primary only).
+	Connections int `json:"connections,omitempty"`
+}
+
+// PromoteRep reports the applied frontier at which a replica was
+// promoted to a writable store.
+type PromoteRep struct {
+	AppliedLSN uint64 `json:"appliedLsn"`
 }
 
 // TraceReq asks for the newest finished firing trees (Last <= 0 means

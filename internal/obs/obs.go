@@ -78,6 +78,13 @@ const (
 	// HSnapshotRead: one snapshot class scan (pin through last record
 	// resolved), the lock-free MVCC read path.
 	HSnapshotRead
+	// HReplBatch: redo-payload bytes shipped in one replication batch
+	// frame. A count histogram like HWALGroup.
+	HReplBatch
+	// HReplLag: replication apply lag for one shipped batch — primary
+	// send timestamp to follower apply completion, as observed by the
+	// follower (meaningful when both share a clock).
+	HReplLag
 
 	numHists
 )
@@ -89,12 +96,14 @@ var histNames = [numHists]string{
 	"checkpoint", "wal_bytes_reclaimed", "delta_records",
 	"commit_shards", "cep_partials", "cep_instances",
 	"version_chain_len", "snapshot_read",
+	"repl_batch_bytes", "repl_lag",
 }
 
 // histIsCount marks histograms whose observations are counts recorded
 // via ObserveN, not durations.
 var histIsCount = [numHists]bool{HWALGroup: true, HWALReclaimed: true, HDeltaRecords: true,
-	HCommitShards: true, HCEPPartials: true, HCEPInstances: true, HVersionChain: true}
+	HCommitShards: true, HCEPPartials: true, HCEPInstances: true, HVersionChain: true,
+	HReplBatch: true}
 
 // HistNames returns the canonical histogram names in display order;
 // snapshot maps are keyed by these.

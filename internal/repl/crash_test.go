@@ -1,0 +1,257 @@
+package repl
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/failpoint"
+	"repro/internal/storage"
+)
+
+// replCrashSites are the follower-side failpoints the matrix samples:
+// the three danger windows of a replicated batch apply (logged but
+// not synced; synced but not installed; installed, with the local
+// checkpoint possibly racing) and the two danger windows of a
+// bootstrap (a chain file landed but the chain is incomplete; the new
+// generation fully built but the CURRENT pointer not yet flipped).
+var replCrashSites = []string{
+	"repl.midApply",
+	"repl.beforeInstall",
+	"repl.afterInstall",
+	"repl.midBootstrap",
+	"repl.beforeCurrent",
+}
+
+func bootstrapSite(site string) bool {
+	return site == "repl.midBootstrap" || site == "repl.beforeCurrent"
+}
+
+// captureTree reads every file under the replica root into memory,
+// relative-path keyed — the on-disk state "at the instant of the
+// crash". It runs inside a failpoint hook, so the stream goroutine
+// (the only one that applies batches or flips generations) is paused
+// while we read; per-generation files are read WAL first, then deltas,
+// then the full snapshot, so a replica-local checkpoint racing the
+// copy can only widen chain coverage past the copied WAL (the same
+// one-sided argument the storage crash matrix makes).
+func captureTree(root string) (map[string][]byte, error) {
+	out := map[string][]byte{}
+	read := func(rel string) error {
+		b, err := os.ReadFile(filepath.Join(root, rel))
+		if os.IsNotExist(err) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		out[rel] = b
+		return nil
+	}
+	if err := read(currentFile); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "data-") {
+			continue
+		}
+		gen := e.Name()
+		if err := read(filepath.Join(gen, "wal")); err != nil {
+			return nil, err
+		}
+		genEntries, err := os.ReadDir(filepath.Join(root, gen))
+		if err != nil {
+			return nil, err
+		}
+		var deltas, rest []string
+		for _, ge := range genEntries {
+			switch {
+			case ge.Name() == "wal":
+			case strings.HasPrefix(ge.Name(), "delta-"):
+				deltas = append(deltas, ge.Name())
+			default:
+				rest = append(rest, ge.Name())
+			}
+		}
+		sort.Strings(deltas)
+		sort.Strings(rest)
+		for _, n := range append(deltas, rest...) {
+			if err := read(filepath.Join(gen, n)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func restoreTree(t *testing.T, root string, files map[string][]byte) {
+	t.Helper()
+	for rel, b := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFollowerCrashMatrix crashes a follower at sampled failpoints —
+// mid-bootstrap, mid-batch-apply, between the WAL append (the durable
+// applied-LSN) and the install, and just before the generation
+// pointer flip — then reboots it from the captured files and asserts
+// it converges byte-equal to the primary. A third of the rounds also
+// truncate the primary's WAL past the crashed follower's frontier
+// while it is down, forcing the catchup to go through a re-bootstrap.
+func TestFollowerCrashMatrix(t *testing.T) {
+	rounds := 30
+	if testing.Short() {
+		rounds = 8
+	}
+	rng := rand.New(rand.NewSource(0x8ad5eed))
+	for r := 0; r < rounds; r++ {
+		site := replCrashSites[r%len(replCrashSites)]
+		hits := 1 + rng.Intn(8)
+		if bootstrapSite(site) {
+			// midBootstrap fires once per chain file (the priming
+			// checkpoints give the chain two), beforeCurrent once per
+			// bootstrap.
+			hits = 1
+			if site == "repl.midBootstrap" {
+				hits = 1 + rng.Intn(2)
+			}
+		}
+		truncate := r%3 == 0
+		// Some rounds let the follower checkpoint its own log while
+		// batches apply, so the capture can land mid-checkpoint too.
+		replCkpt := uint64(0)
+		if rng.Intn(3) == 0 {
+			replCkpt = 256
+		}
+		t.Run(fmt.Sprintf("r%02d-%s-hit%d-trunc%v-ckpt%d", r, site, hits, truncate, replCkpt),
+			func(t *testing.T) {
+				runReplCrashRound(t, site, hits, truncate, replCkpt)
+			})
+	}
+}
+
+func runReplCrashRound(t *testing.T, site string, hits int, truncate bool, replCkpt uint64) {
+	p := startPrimary(t, storage.Options{})
+	oid := datum.OID(0)
+	commitSome := func(n int) {
+		for i := 0; i < n; i++ {
+			oid++
+			p.commit(rec(oid, "E", int64(oid)), rec(oid%7+1000, "E", int64(oid)))
+		}
+	}
+	// Prime a two-file chain (full + delta) so bootstrap ships several
+	// files and midBootstrap has more than one place to fire.
+	commitSome(5)
+	if _, err := p.store.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	commitSome(5)
+	if _, err := p.store.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	commitSome(3)
+
+	rroot := t.TempDir()
+	var capture map[string][]byte
+	captured := make(chan struct{})
+	count := 0
+	failpoint.Set(site, func() {
+		select {
+		case <-captured:
+			return
+		default:
+		}
+		count++
+		if count < hits {
+			return
+		}
+		snap, err := captureTree(rroot)
+		if err != nil {
+			t.Errorf("capture: %v", err)
+		}
+		capture = snap
+		close(captured)
+	})
+	defer failpoint.Clear(site)
+
+	r, err := Open(Options{Dir: rroot, PrimaryAddr: p.addr,
+		ReconnectDelay: time.Millisecond, CheckpointAfterBytes: replCkpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive commits until the crash point fires (bootstrap sites fire
+	// on their own; apply sites need batches flowing).
+	deadline := time.Now().Add(15 * time.Second)
+waiting:
+	for {
+		select {
+		case <-captured:
+			break waiting
+		default:
+		}
+		if time.Now().After(deadline) {
+			r.Close()
+			t.Fatalf("failpoint %s never reached hit %d", site, hits)
+		}
+		commitSome(1)
+		time.Sleep(time.Millisecond)
+	}
+	failpoint.Clear(site)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The primary moves on while the follower is "down"; optionally it
+	// also truncates its WAL past anything the follower had applied.
+	commitSome(4)
+	if truncate {
+		commitSome(8)
+		if _, err := p.store.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reboot from the crash image and let catchup converge.
+	rroot2 := t.TempDir()
+	restoreTree(t, rroot2, capture)
+	r2, err := Open(Options{Dir: rroot2, PrimaryAddr: p.addr,
+		ReconnectDelay: time.Millisecond, CheckpointAfterBytes: replCkpt})
+	if err != nil {
+		t.Fatalf("reboot from %s crash image: %v", site, err)
+	}
+	defer r2.Close()
+	rebootedAt := r2.AppliedLSN()
+	waitConverged(t, p, r2, 15*time.Second)
+
+	if got, want := dump(r2.Store(), "E"), dump(p.store, "E"); got != want {
+		t.Fatalf("follower diverged after %s crash:\n got: %q\nwant: %q", site, got, want)
+	}
+	if final := r2.AppliedLSN(); final < rebootedAt {
+		t.Fatalf("applied regressed across catchup: %d -> %d", rebootedAt, final)
+	}
+	if err := r2.AsyncError(); err != nil {
+		t.Fatal(err)
+	}
+	if truncate {
+		if st := r2.Status(); st.Bootstraps == 0 && rebootedAt < p.store.WAL().Base() {
+			t.Fatalf("truncated catchup did not re-bootstrap: %+v", st)
+		}
+	}
+}

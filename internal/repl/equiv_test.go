@@ -1,0 +1,133 @@
+package repl
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// TestReplicationEquivalence is the replication-equivalence property:
+// a follower that lives through a randomized interleaving of commits,
+// connection drops, checkpoints, and WAL truncations must, at every
+// applied watermark it converges to, hold byte-equal state to a
+// replay-only twin — a store built purely by recovery over a copy of
+// the primary's files, with no streaming involved. The stream plus
+// catchup machinery may never produce a state recovery alone would
+// not.
+func TestReplicationEquivalence(t *testing.T) {
+	phases := 8
+	if testing.Short() {
+		phases = 4
+	}
+	rng := rand.New(rand.NewSource(0x7e11ca))
+	p := startPrimary(t, storage.Options{})
+	d := &dialTracker{addr: p.addr}
+	r, err := Open(Options{Dir: t.TempDir(), PrimaryAddr: p.addr,
+		Dial: d.dial, ReconnectDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	nextOID := datum.OID(2000)
+	commitRandom := func() {
+		var recs []storage.Record
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			var o datum.OID
+			if rng.Intn(4) == 0 {
+				nextOID++
+				o = nextOID
+			} else {
+				o = datum.OID(1 + rng.Intn(40))
+			}
+			rc := rec(o, "E", rng.Int63n(1_000_000))
+			if rng.Intn(10) == 0 {
+				rc = storage.Record{OID: o, Class: "E", Deleted: true}
+			}
+			recs = append(recs, rc)
+		}
+		p.commit(recs...)
+	}
+
+	for phase := 0; phase < phases; phase++ {
+		for i := 0; i < 10+rng.Intn(15); i++ {
+			commitRandom()
+		}
+		switch rng.Intn(4) {
+		case 0:
+			// Network drop mid-stream; the replica resumes on its own.
+			d.drop()
+		case 1:
+			// Truncate the primary's WAL while the replica is down,
+			// forcing the catchup through a re-bootstrap.
+			d.setGate(true)
+			d.drop()
+			for i := 0; i < 5; i++ {
+				commitRandom()
+			}
+			if _, err := p.store.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			d.setGate(false)
+		case 2:
+			// Checkpoint with the stream attached.
+			if _, err := p.store.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		waitConverged(t, p, r, 10*time.Second)
+
+		// The applied watermark this phase converged to: compare the
+		// follower against the replay-only twin and the primary itself.
+		twin := replayTwin(t, p)
+		if got := dump(r.Store(), "E"); got != twin {
+			t.Fatalf("phase %d: follower state != replay-only twin\n follower: %q\n twin: %q",
+				phase, got, twin)
+		}
+		if prim := dump(p.store, "E"); prim != twin {
+			t.Fatalf("phase %d: primary state != its own replay\n primary: %q\n twin: %q",
+				phase, prim, twin)
+		}
+	}
+	if err := r.AsyncError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// replayTwin copies the primary's quiesced files (no commit is in
+// flight between phases) and opens the copy as a fresh store: its
+// state is what chain+WAL recovery alone reconstructs at the current
+// watermark.
+func replayTwin(t *testing.T, p *primaryNode) string {
+	t.Helper()
+	dir := t.TempDir()
+	entries, err := os.ReadDir(p.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(p.dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	txns, _ := txn.NewSystem()
+	st, err := storage.Open(txns, storage.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("replay twin: %v", err)
+	}
+	defer st.Close()
+	return dump(st, "E")
+}

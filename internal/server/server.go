@@ -30,12 +30,13 @@ const CallTimeout = 30 * time.Second
 type Server struct {
 	eng *core.Engine
 
-	mu       sync.Mutex
-	ln       net.Listener
-	sessions map[*session]struct{}
-	serving  map[string][]*session // app operation -> serving sessions
-	rr       map[string]int        // round-robin cursor per operation
-	closed   bool
+	mu         sync.Mutex
+	ln         net.Listener
+	sessions   map[*session]struct{}
+	serving    map[string][]*session // app operation -> serving sessions
+	rr         map[string]int        // round-robin cursor per operation
+	replStatus func() ipc.ReplStatusRep
+	closed     bool
 }
 
 // New returns a server for the engine and installs itself as the
@@ -49,6 +50,16 @@ func New(eng *core.Engine) *Server {
 	}
 	eng.SetFallbackDispatcher(s)
 	return s
+}
+
+// SetReplStatus installs the hook answering OpReplStatus — a primary
+// running a WAL shipping stream reports its follower connections and
+// durable frontier through it. Without a hook the server answers with
+// a bare primary role.
+func (s *Server) SetReplStatus(fn func() ipc.ReplStatusRep) {
+	s.mu.Lock()
+	s.replStatus = fn
+	s.mu.Unlock()
 }
 
 // Serve accepts connections on ln until Close. It returns the
@@ -602,6 +613,19 @@ func (s *session) handle(req *ipc.Message) {
 		}
 		s.reply(req, ipc.CheckpointRep{Kind: res.Kind, Records: res.Records,
 			Reclaimed: res.Reclaimed}, nil)
+
+	case ipc.OpReplStatus:
+		s.srv.mu.Lock()
+		fn := s.srv.replStatus
+		s.srv.mu.Unlock()
+		if fn == nil {
+			s.reply(req, ipc.ReplStatusRep{Role: "primary"}, nil)
+			return
+		}
+		s.reply(req, fn(), nil)
+
+	case ipc.OpPromote:
+		s.reply(req, nil, errors.New("server: this node is already a writable primary"))
 
 	case ipc.OpGraph:
 		var rep ipc.GraphRep

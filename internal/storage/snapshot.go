@@ -209,6 +209,61 @@ func (b *bySeq) Swap(i, j int) {
 	b.seqs[i], b.seqs[j] = b.seqs[j], b.seqs[i]
 }
 
+// ChainFileNames lists the snapshot chain files present in dir — the
+// full snapshot (if any) followed by the delta files in sequence
+// order. A replication primary ships exactly these files to a
+// bootstrapping follower; the follower's own chain validation (the
+// same parent-link walk recovery uses) sorts out any inconsistency a
+// racing checkpoint may have introduced between listing and reading.
+func ChainFileNames(dir string) ([]string, error) {
+	var names []string
+	if _, err := os.Stat(filepath.Join(dir, fullSnapshotName)); err == nil {
+		names = append(names, fullSnapshotName)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	dn, _, err := deltaFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	return append(names, dn...), nil
+}
+
+// ChainWatermark validates the snapshot chain in dir exactly as Open
+// would — full snapshot, then every delta that extends the chain by
+// its parent watermark and CRC — and returns the achieved watermark,
+// without building a store. A replication follower uses it after
+// writing a shipped chain to learn the LSN its local WAL must start
+// at. A missing full snapshot yields watermark 0 (an empty chain, not
+// an error); a corrupt full snapshot is an error, matching loadChain.
+func ChainWatermark(dir string) (wal.LSN, error) {
+	var tip wal.LSN
+	var tipCRC uint32
+	full, _, err := readSnapshotFile(filepath.Join(dir, fullSnapshotName))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+	case err != nil:
+		return 0, fmt.Errorf("storage: read snapshot: %w", err)
+	case full.kind != snapKindFull:
+		return 0, errors.New("storage: snapshot file holds a delta")
+	default:
+		tip, tipCRC = full.watermark, full.crc
+	}
+	names, _, err := deltaFiles(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, name := range names {
+		d, _, err := readSnapshotFile(filepath.Join(dir, name))
+		if err != nil || d.kind != snapKindDelta ||
+			d.parentWatermark != tip || d.parentCRC != tipCRC || d.watermark < tip {
+			break
+		}
+		tip, tipCRC = d.watermark, d.crc
+	}
+	return tip, nil
+}
+
 // loadChain installs the snapshot chain at s.dir: the full snapshot if
 // present, then every delta that validly extends it, in order. It
 // returns the achieved watermark (the LSN below which the chain covers

@@ -47,6 +47,11 @@ import (
 // committedOwner tags versions in the committed tier.
 const committedOwner lock.TxnID = 0
 
+// frameOverheadBytes is the WAL's per-record framing cost (length +
+// CRC); a record appended at LSN x advances the log end to
+// x + frameOverheadBytes + len(payload).
+const frameOverheadBytes = 8
+
 // Record is one object state: its identity, class, attribute values,
 // and whether this version is a deletion tombstone.
 type Record struct {
@@ -928,7 +933,7 @@ func (s *Store) CommitTop(tx lock.TxnID) error {
 		s.cmu.Unlock()
 		logged = true
 		tm := s.obsm.Timer(obs.HCommitStall)
-		if err := s.log.SyncTo(lsn + wal.LSN(8+len(payload))); err != nil {
+		if err := s.log.SyncTo(lsn + wal.LSN(frameOverheadBytes+len(payload))); err != nil {
 			s.cmu.Lock()
 			delete(s.inflight, lsn)
 			s.endCommitLocked(clsn) // abandoned: nothing installed at clsn
@@ -1227,6 +1232,88 @@ func decodeRedo(payload []byte) ([]Record, error) {
 	return recs, nil
 }
 
+// WAL exposes the store's write-ahead log (nil for an ephemeral
+// store). The replication primary streams durable frames straight
+// from it.
+func (s *Store) WAL() *wal.Log { return s.log }
+
+// Dir returns the store's durability directory ("" for ephemeral).
+// The replication primary ships the snapshot-chain files in it to
+// bootstrapping followers.
+func (s *Store) Dir() string { return s.dir }
+
+// ApplyReplicated logs and installs one replicated redo batch on a
+// follower store. payload is the primary's WAL record verbatim and
+// primaryLSN its LSN there; batches must be applied in stream order.
+// The follower's log was initialized with the primary's base (see
+// wal.InitFile), so the append must land at exactly primaryLSN — the
+// logical LSNs of primary and follower line up byte for byte, which
+// makes the follower's log end its durable applied-LSN frontier and
+// lets recovery after a follower crash resume the stream from there.
+//
+// The batch follows CommitTop's write-ahead discipline: append and
+// register in-flight under cmu, group-sync, then install and publish.
+// A follower checkpoint interleaving anywhere in between therefore
+// keeps the watermark invariant, so followers truncate their own logs
+// safely. Returns the new applied frontier (the follower's log end).
+func (s *Store) ApplyReplicated(primaryLSN wal.LSN, payload []byte) (wal.LSN, error) {
+	if s.log == nil {
+		return 0, errors.New("storage: replica apply needs a durable store")
+	}
+	recs, err := decodeRedo(payload)
+	if err != nil {
+		return 0, err
+	}
+	s.cmu.Lock()
+	if end := s.log.End(); end != primaryLSN {
+		s.cmu.Unlock()
+		return 0, fmt.Errorf("storage: replica apply at lsn %d, local log end %d", primaryLSN, end)
+	}
+	lsn, err := s.log.Append(payload)
+	if err != nil {
+		s.cmu.Unlock()
+		return 0, err
+	}
+	s.inflight[lsn] = struct{}{}
+	clsn := s.beginCommitLocked()
+	s.cmu.Unlock()
+	failpoint.Hit("repl.midApply")
+	end := lsn + wal.LSN(frameOverheadBytes+len(payload))
+	if err := s.log.SyncTo(end); err != nil {
+		s.cmu.Lock()
+		delete(s.inflight, lsn)
+		s.endCommitLocked(clsn)
+		s.cmu.Unlock()
+		return 0, err
+	}
+	s.nWALBytes.Add(uint64(len(payload)))
+	failpoint.Hit("repl.beforeInstall")
+	classes := map[string]struct{}{}
+	for _, rec := range recs {
+		s.raiseNextOID(rec.OID)
+		sh := s.shardOf(rec.OID)
+		sh.mu.Lock()
+		s.installCommitted(sh, committedOwner, rec, clsn)
+		sh.ckptDirty[rec.OID] = rec.Class
+		sh.installs.Add(1)
+		sh.mu.Unlock()
+		classes[rec.Class] = struct{}{}
+	}
+	for class := range classes {
+		s.bumpSeq(class)
+	}
+	s.nCommits.Add(1)
+	s.cmu.Lock()
+	delete(s.inflight, lsn)
+	s.endCommitLocked(clsn)
+	s.cmu.Unlock()
+	s.waitPublished(clsn)
+	failpoint.Hit("repl.afterInstall")
+	s.maybeKickCheckpoint()
+	s.maybeKickGC()
+	return end, nil
+}
+
 // applyRedo applies one WAL record during recovery. Each redo batch
 // was one commit, so it gets one fresh commit LSN (recovery is
 // single-threaded; endCommit publishes it immediately).
@@ -1494,7 +1581,7 @@ func syncDir(dir string) error {
 	if err != nil {
 		return fmt.Errorf("storage: open dir: %w", err)
 	}
-	defer d.Sync()
+	defer d.Close()
 	if err := d.Sync(); err != nil {
 		return fmt.Errorf("storage: sync dir: %w", err)
 	}

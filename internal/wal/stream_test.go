@@ -1,0 +1,296 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func openTestLog(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(filepath.Join(dir, "wal"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestReadDurableBasic(t *testing.T) {
+	l := openTestLog(t, t.TempDir(), Options{})
+	defer l.Close()
+	var want []LSN
+	for i := 0; i < 10; i++ {
+		lsn, err := l.Append(binary.BigEndian.AppendUint64(nil, uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, lsn)
+	}
+	// Nothing synced yet: the durable frontier hides every record.
+	frames, next, err := l.ReadDurable(0, 0)
+	if err != nil || len(frames) != 0 || next != 0 {
+		t.Fatalf("pre-sync read: %d frames next %d err %v", len(frames), next, err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	frames, next, err = l.ReadDurable(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 10 || next != l.End() {
+		t.Fatalf("got %d frames next %d, want 10 next %d", len(frames), next, l.End())
+	}
+	for i, fr := range frames {
+		if fr.LSN != want[i] || binary.BigEndian.Uint64(fr.Payload) != uint64(i) {
+			t.Fatalf("frame %d: lsn %d payload %x", i, fr.LSN, fr.Payload)
+		}
+	}
+	// Byte-budgeted read returns a prefix and a resumable next LSN.
+	frames, next, err = l.ReadDurable(0, 1)
+	if err != nil || len(frames) != 1 {
+		t.Fatalf("budgeted read: %d frames err %v", len(frames), err)
+	}
+	if next != want[1] {
+		t.Fatalf("budgeted next %d want %d", next, want[1])
+	}
+}
+
+func TestReadDurableBelowBase(t *testing.T) {
+	l := openTestLog(t, t.TempDir(), Options{})
+	defer l.Close()
+	var mid LSN
+	for i := 0; i < 8; i++ {
+		lsn, err := l.Append([]byte(fmt.Sprintf("rec-%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 4 {
+			mid = lsn
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.TruncateBefore(mid); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.ReadDurable(0, 0); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("read below base: err %v, want ErrTruncated", err)
+	}
+	// Reading exactly at the new base still works.
+	frames, _, err := l.ReadDurable(mid, 0)
+	if err != nil || len(frames) != 4 {
+		t.Fatalf("read at base: %d frames err %v", len(frames), err)
+	}
+}
+
+// TestTruncateRacingStreamReader is the directed regression test for
+// the TruncateBefore/stream-reader race: TruncateBefore swaps the
+// backing file and closes the old handle while an attached stream
+// reader is mid-ReadAt. The reader must always get either clean
+// frames (with intact checksums and the right LSNs) or the typed
+// ErrTruncated "resume below base" error — never a torn read, a CRC
+// failure, or a leaked "file already closed".
+func TestTruncateRacingStreamReader(t *testing.T) {
+	l := openTestLog(t, t.TempDir(), Options{})
+	defer l.Close()
+
+	var payloads sync.Map // LSN -> uint64 sequence number
+	var appended atomic.Uint64
+	var stop atomic.Bool
+	var readerErr atomic.Value
+
+	// Writer: append + sync in small batches, truncating the prefix
+	// aggressively so the swap races the readers continuously.
+	writer := func() {
+		seq := uint64(0)
+		for !stop.Load() {
+			var last LSN
+			for i := 0; i < 4; i++ {
+				lsn, err := l.Append(binary.BigEndian.AppendUint64(nil, seq))
+				if err != nil {
+					readerErr.Store(fmt.Errorf("append: %w", err))
+					return
+				}
+				payloads.Store(lsn, seq)
+				seq++
+				last = lsn
+			}
+			if err := l.Sync(); err != nil {
+				readerErr.Store(fmt.Errorf("sync: %w", err))
+				return
+			}
+			appended.Store(seq)
+			if seq%12 == 0 {
+				if _, err := l.TruncateBefore(last); err != nil {
+					readerErr.Store(fmt.Errorf("truncate: %w", err))
+					return
+				}
+			}
+		}
+	}
+
+	reader := func(seed int) {
+		from := LSN(0)
+		reads := 0
+		for !stop.Load() {
+			reads++
+			// Alternate between tailing the frontier and probing old
+			// (possibly truncated) resume points, like a follower
+			// reconnecting after a long disconnect.
+			probe := from
+			if reads%7 == seed%7 {
+				probe = 0
+			}
+			frames, next, err := l.ReadDurable(probe, 1<<10)
+			if err != nil {
+				if errors.Is(err, ErrTruncated) {
+					// Clean resume-below-base: re-bootstrap at the base.
+					from = l.Base()
+					continue
+				}
+				if errors.Is(err, ErrClosed) && stop.Load() {
+					return
+				}
+				readerErr.Store(fmt.Errorf("ReadDurable(%d): %w", probe, err))
+				stop.Store(true)
+				return
+			}
+			for _, fr := range frames {
+				want, ok := payloads.Load(fr.LSN)
+				if !ok {
+					readerErr.Store(fmt.Errorf("frame at unknown lsn %d", fr.LSN))
+					stop.Store(true)
+					return
+				}
+				if got := binary.BigEndian.Uint64(fr.Payload); got != want.(uint64) {
+					readerErr.Store(fmt.Errorf("lsn %d: payload %d want %d", fr.LSN, got, want))
+					stop.Store(true)
+					return
+				}
+			}
+			if probe == from {
+				from = next
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); writer() }()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) { defer wg.Done(); reader(r) }(r)
+	}
+	dur := 800 * time.Millisecond
+	if testing.Short() {
+		dur = 200 * time.Millisecond
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	if err := readerErr.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if appended.Load() == 0 {
+		t.Fatal("writer made no progress")
+	}
+}
+
+func TestWaitDurable(t *testing.T) {
+	l := openTestLog(t, t.TempDir(), Options{})
+	lsn, err := l.Append([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		flushed, werr := l.WaitDurable(lsn, nil)
+		if werr == nil && flushed <= lsn {
+			werr = fmt.Errorf("woke at %d, want > %d", flushed, lsn)
+		}
+		done <- werr
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancellation via stop.
+	stop := make(chan struct{})
+	go func() {
+		_, werr := l.WaitDurable(l.End()+1000, stop)
+		done <- werr
+	}()
+	close(stop)
+	if err := <-done; !errors.Is(err, ErrWaitCanceled) {
+		t.Fatalf("stop wait: %v, want ErrWaitCanceled", err)
+	}
+
+	// Close wakes waiters with ErrClosed.
+	go func() {
+		_, werr := l.WaitDurable(l.End()+1000, nil)
+		done <- werr
+	}()
+	time.Sleep(20 * time.Millisecond)
+	l.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("close wait: %v, want ErrClosed", err)
+	}
+}
+
+func TestNoSyncAdvancesDurableFrontier(t *testing.T) {
+	l := openTestLog(t, t.TempDir(), Options{NoSync: true})
+	defer l.Close()
+	lsn, err := l.Append([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Flushed(); got != l.End() {
+		t.Fatalf("flushed %d, want end %d", got, l.End())
+	}
+	frames, _, err := l.ReadDurable(lsn, 0)
+	if err != nil || len(frames) != 1 || string(frames[0].Payload) != "hello" {
+		t.Fatalf("nosync read: %v frames err %v", frames, err)
+	}
+}
+
+func TestInitFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	const base = LSN(12345)
+	if err := InitFile(path, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := InitFile(path, base); !os.IsExist(errors.Unwrap(err)) {
+		t.Fatalf("second InitFile: %v, want exists error", err)
+	}
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Base() != base || l.End() != base {
+		t.Fatalf("base %d end %d, want both %d", l.Base(), l.End(), base)
+	}
+	lsn, err := l.Append([]byte("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != base {
+		t.Fatalf("first append at %d, want %d", lsn, base)
+	}
+}

@@ -98,6 +98,11 @@ type Log struct {
 	// requests. nFsyncs/nSyncReqs < 1 means group commit is batching.
 	nFsyncs   atomic.Uint64
 	nSyncReqs atomic.Uint64
+
+	// closedFlag mirrors closed for waiters parked on fcond (stream
+	// readers in WaitDurable), which must not take mu while holding fmu
+	// — Close holds mu when it broadcasts.
+	closedFlag atomic.Bool
 }
 
 // Options configures a Log.
@@ -256,6 +261,16 @@ func (l *Log) SyncTo(target LSN) error {
 		return ErrClosed
 	}
 	if !l.sync {
+		// Durability is a no-op, but the durable frontier still
+		// advances so stream readers (ReadDurable/WaitDurable) see the
+		// records: "flushed" means "as durable as this log ever gets".
+		end := l.End()
+		l.fmu.Lock()
+		if end > l.flushed {
+			l.flushed = end
+			l.fcond.Broadcast()
+		}
+		l.fmu.Unlock()
 		return nil
 	}
 	l.fmu.Lock()
@@ -353,7 +368,8 @@ func (l *Log) Base() LSN {
 	return l.base
 }
 
-// Close syncs and closes the log file.
+// Close syncs and closes the log file, waking any stream readers
+// parked in WaitDurable.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -368,6 +384,10 @@ func (l *Log) Close() error {
 	if err := l.f.Close(); firstErr == nil {
 		firstErr = err
 	}
+	l.closedFlag.Store(true)
+	l.fmu.Lock()
+	l.fcond.Broadcast()
+	l.fmu.Unlock()
 	return firstErr
 }
 
