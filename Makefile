@@ -15,24 +15,26 @@ race:
 	$(GO) test -race ./internal/rule/ ./internal/txn/ ./internal/lock/ \
 		./internal/storage/ ./internal/wal/ ./internal/event/ \
 		./internal/cep/ ./internal/object/ ./internal/core/ \
-		./internal/server/ ./internal/failpoint/ ./internal/repl/
+		./internal/server/ ./internal/failpoint/ ./internal/repl/ \
+		./internal/plan/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 0.5s .
 
 # bench-baseline re-measures the C16 parallel-scalability cells, the
-# C17 composite-event cells, the C18 snapshot-scan race, and the C19
-# replication cells, rewriting the committed baseline. Run it on a
-# quiet machine after a deliberate perf change, and commit
-# BENCH_8.json with the change that moved the numbers. On a noisy
-# box, run it several times and keep the per-cell max — the committed
-# baseline is a ceiling for the gate, not a scoreboard.
+# C17 composite-event cells, the C18 snapshot-scan race, the C19
+# replication cells, and the C20 planner join cells, rewriting the
+# committed baseline. Run it on a quiet machine after a deliberate
+# perf change, and commit BENCH_9.json with the change that moved the
+# numbers. On a noisy box, run it several times and keep the per-cell
+# max — the committed baseline is a ceiling for the gate, not a
+# scoreboard.
 bench-baseline:
-	$(GO) run ./cmd/hipac-bench -run C16,C17,C18,C19 -json BENCH_8.json
+	$(GO) run ./cmd/hipac-bench -run C16,C17,C18,C19,C20 -json BENCH_9.json
 
 # bench-smoke is the CI regression gate: re-measure and fail if any
-# C16, C17, C18, or C19 cell is more than 20% slower than the
-# committed baseline (skipped with a warning when the host CPU count
-# differs from the baseline's).
+# C16-C20 cell is more than 20% slower than the committed baseline
+# (skipped with a warning when the host CPU count differs from the
+# baseline's).
 bench-smoke:
-	$(GO) run ./cmd/hipac-bench -run C16,C17,C18,C19 -compare BENCH_8.json
+	$(GO) run ./cmd/hipac-bench -run C16,C17,C18,C19,C20 -compare BENCH_9.json

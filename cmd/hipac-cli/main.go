@@ -22,6 +22,7 @@
 //	delete <#oid>                  delete an object
 //	get <#oid>                     show an object
 //	select ...                     run a query (whole line)
+//	explain select ...             show the query's physical plan
 //	event <Name> [param ...]       define an external event
 //	signal <Name> <param>=<value> ...      signal an external event
 //	rule <file.json>               create a rule from a JSON definition
@@ -289,6 +290,20 @@ func (s *shell) exec(line string) error {
 				fmt.Fprintln(s.out, strings.Join(parts, "\t"))
 			}
 			fmt.Fprintf(s.out, "(%d rows)\n", len(res.Rows))
+			return nil
+		})
+
+	case "explain":
+		if len(args) == 0 {
+			return fmt.Errorf("usage: explain select ...")
+		}
+		src := strings.TrimSpace(strings.TrimPrefix(line, "explain"))
+		return s.withTxn(func(tx *client.Txn) error {
+			text, err := s.c.Explain(tx, src, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(s.out, text)
 			return nil
 		})
 
@@ -560,6 +575,7 @@ const helpText = `commands:
   modify <#oid> <attr>=<value> ...
   delete <#oid> | get <#oid>
   select <query>
+  explain select <query>
   event <Name> [param ...]
   signal <Name> <param>=<value> ...
   rule <file.json> | replace <file.json> | rules

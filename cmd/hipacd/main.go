@@ -58,6 +58,8 @@ func main() {
 		"WAL shipping listen address for read replicas (empty: replication disabled)")
 	replicaOf := flag.String("replica-of", "",
 		"run as a read replica of the primary's -repl-listen address (requires -dir)")
+	treeWalk := flag.Bool("tree-walk-queries", false,
+		"evaluate queries and rule conditions with the legacy tree-walk evaluator instead of the cost-based planner")
 	flag.Parse()
 
 	if *replicaOf != "" {
@@ -68,7 +70,8 @@ func main() {
 
 	eng, err := core.Open(core.Options{Dir: *dir, NoSync: *nosync, GroupCommitWindow: *window,
 		CheckpointInterval: *ckptEvery, CheckpointAfterBytes: *ckptBytes,
-		CheckpointCompactEvery: *ckptCompact, StoreShards: *shards, CEPShards: *cepShards})
+		CheckpointCompactEvery: *ckptCompact, StoreShards: *shards, CEPShards: *cepShards,
+		TreeWalkQueries: *treeWalk})
 	if err != nil {
 		log.Fatalf("hipacd: open engine: %v", err)
 	}

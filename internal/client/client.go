@@ -293,6 +293,16 @@ func (c *Client) Query(tx *Txn, src string, args map[string]datum.Value) (*Resul
 	return &Result{Columns: rep.Columns, Rows: rep.Rows}, nil
 }
 
+// Explain returns the physical plan the server's cost-based planner
+// chooses for a select statement, as text; nothing is executed.
+func (c *Client) Explain(tx *Txn, src string, args map[string]datum.Value) (string, error) {
+	var rep ipc.ExplainRep
+	if err := c.call(ipc.OpExplain, ipc.ExplainReq{Txn: tx.ID, Src: src, Args: args}, &rep); err != nil {
+		return "", err
+	}
+	return rep.Text, nil
+}
+
 // --- operations on events ---
 
 // DefineEvent defines an application-specific event (§4.1).

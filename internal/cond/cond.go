@@ -136,9 +136,22 @@ type Evaluator struct {
 	rules  map[uint64]*ruleEntry
 	modSeq ModSeqFunc
 	obsm   *obs.Metrics // nil-safe evaluation-latency observer
+	exec   ExecFunc     // nil means query.Eval (tree-walk)
 
 	nEvals, nShared, nCache atomic.Uint64
 }
+
+// ExecFunc runs one query against a reader — the pluggable execution
+// engine. The engine installs the cost-based planner here; nil keeps
+// the tree-walk evaluator. Any implementation must preserve
+// query.Eval's semantics exactly: condition satisfaction, the primary
+// query's action-parameter rows, and the as-of-commit snapshot view
+// all flow through the reader unchanged.
+type ExecFunc func(q *query.Query, r query.Reader, eventArgs map[string]datum.Value) (*query.Result, error)
+
+// SetExec installs the query-execution engine. Not safe to call
+// concurrently with evaluation.
+func (e *Evaluator) SetExec(fn ExecFunc) { e.exec = fn }
 
 // SetObserver installs an evaluation-latency observer. Not safe to
 // call concurrently with evaluation.
@@ -308,7 +321,11 @@ func (e *Evaluator) evalNode(n *qnode, reader query.Reader,
 	}
 
 	tm := e.obsm.Timer(obs.HCondEval)
-	res, err := query.Eval(n.q, reader, eventArgs)
+	run := e.exec
+	if run == nil {
+		run = query.Eval
+	}
+	res, err := run(n.q, reader, eventArgs)
 	if err != nil {
 		return nil, err
 	}

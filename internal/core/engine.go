@@ -22,6 +22,7 @@ import (
 	"repro/internal/lock"
 	"repro/internal/object"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/rule"
 	"repro/internal/storage"
@@ -71,6 +72,12 @@ type Options struct {
 	// advance their NFA instances under independent shard locks. 0
 	// means cep.DefaultShards.
 	CEPShards int
+	// TreeWalkQueries routes queries and condition evaluation through
+	// the legacy tree-walk evaluator instead of the cost-based
+	// planner. The tree-walk is the differential-testing oracle; the
+	// flag exists so a planner regression can be ruled in or out in
+	// production without a rebuild.
+	TreeWalkQueries bool
 	// Clock supplies time for temporal events; nil means the wall
 	// clock. Tests pass a *clock.Virtual.
 	Clock clock.Clock
@@ -87,7 +94,9 @@ type AppHandler func(args map[string]datum.Value) (map[string]datum.Value, error
 
 // Engine is an active DBMS instance.
 type Engine struct {
-	clk        clock.Clock
+	clk      clock.Clock
+	treeWalk bool // evaluate queries with the tree-walk oracle
+
 	Txns       *txn.Manager
 	Locks      *lock.Manager
 	Store      *storage.Store
@@ -155,11 +164,15 @@ func Open(opts Options) (*Engine, error) {
 	objects := object.NewManager(store, nil)
 	conds := cond.New(store.ModSeq)
 	conds.SetObserver(o.Metrics())
+	if !opts.TreeWalkQueries {
+		conds.SetExec(plan.Run)
+	}
 	rules := rule.NewManager(txns, objects, conds)
 	rules.SetObs(o)
 
 	e := &Engine{
 		clk:        clk,
+		treeWalk:   opts.TreeWalkQueries,
 		Txns:       txns,
 		Locks:      locks,
 		Store:      store,
@@ -334,7 +347,23 @@ func (e *Engine) Query(tx *txn.Txn, src string, args map[string]datum.Value) (*q
 	// committers land concurrently.
 	reader := e.Objects.SnapshotReader(tx)
 	defer reader.Close()
-	return query.Eval(q, reader, args)
+	if e.treeWalk {
+		return query.Eval(q, reader, args)
+	}
+	return plan.Run(q, reader, args)
+}
+
+// Explain parses src and returns the physical plan the cost-based
+// planner would execute for it, as text.
+func (e *Engine) Explain(tx *txn.Txn, src string, args map[string]datum.Value) (string, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	reader := e.Objects.SnapshotReader(tx)
+	defer reader.Close()
+	cat, _ := query.Reader(reader).(plan.Catalog)
+	return plan.Build(q, cat, args, plan.Options{}).Explain(), nil
 }
 
 // --- operations on events (Fig 4.1) ---

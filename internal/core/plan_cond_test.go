@@ -1,0 +1,175 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/object"
+	"repro/internal/rule"
+)
+
+var holdingClass = object.Class{
+	Name: "Holding",
+	Attrs: []object.AttrDef{
+		{Name: "owner", Kind: datum.KindString, Indexed: true},
+		{Name: "symbol", Kind: datum.KindString},
+		{Name: "qty", Kind: datum.KindInt},
+	},
+}
+
+// joinCondQuery is a rule condition joining the large Holding class
+// (selective owner index) against the modified Stock; the planner
+// takes the index path for it, which must not change which
+// transaction state the condition observes.
+const joinCondQuery = "select h, s from Holding h, Stock s " +
+	"where h.symbol = s.symbol and h.owner = 'kim' and s.price >= 100"
+
+func setupJoinCondEngine(t *testing.T) (*Engine, datum.OID) {
+	t.Helper()
+	e, _ := newEngine(t)
+	defineStockAndAudit(t, e)
+	tx := e.Begin()
+	if err := e.DefineClass(tx, holdingClass); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	oid := createStock(t, e, "XRX", 48)
+	tx = e.Begin()
+	if _, err := e.Create(tx, "Holding", map[string]datum.Value{
+		"owner": datum.Str("kim"), "symbol": datum.Str("XRX"), "qty": datum.Int(3),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Filler holdings make the owner index clearly cheaper than the
+	// extent scan, so the planner reliably picks the index path.
+	for i := 0; i < 200; i++ {
+		if _, err := e.Create(tx, "Holding", map[string]datum.Value{
+			"owner":  datum.Str("other" + string(rune('a'+i%26))),
+			"symbol": datum.Str("ZZZ"),
+			"qty":    datum.Int(int64(i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return e, oid
+}
+
+// TestJoinConditionCouplingViews pins down which transaction state a
+// join condition with an index access path observes under each E-C
+// coupling: immediate sees the trigger's uncommitted write, deferred
+// sees the state at commit, separate sees only committed state.
+func TestJoinConditionCouplingViews(t *testing.T) {
+	cases := []struct {
+		ec string
+		// audits after the trigger commits: the condition is true only
+		// in views that include the price-150 modification.
+		want int
+	}{
+		{"immediate", 1},
+		{"deferred", 1},
+		{"separate", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.ec, func(t *testing.T) {
+			e, oid := setupJoinCondEngine(t)
+
+			// The planner must actually take the owner-index path for
+			// the condition query, or this test exercises nothing new.
+			check := e.Begin()
+			text, err := e.Explain(check, joinCondQuery, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check.Commit()
+			if !strings.Contains(text, "index scan") || !strings.Contains(text, "Holding") {
+				t.Fatalf("condition query does not plan an index path:\n%s", text)
+			}
+
+			def := rule.Def{
+				Name:      "join-cond",
+				Event:     "modify(Stock)",
+				Condition: []string{joinCondQuery},
+				Action: []rule.Step{{
+					Kind: rule.StepCreate, Class: "Audit",
+					Attrs: map[string]string{"note": "'hit'"},
+				}},
+				EC: tc.ec, CA: "immediate",
+			}
+			if _, err := e.CreateRule(def); err != nil {
+				t.Fatal(err)
+			}
+
+			tx := e.Begin()
+			if err := e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(150)}); err != nil {
+				t.Fatal(err)
+			}
+			if tc.ec == "separate" {
+				// Force the separate firing to evaluate before the
+				// trigger commits: it must see price 48 (committed
+				// state), so the condition is unsatisfied.
+				e.Quiesce()
+				if got := auditVisibleTo(e, nil); got != 0 {
+					t.Fatalf("separate condition saw uncommitted trigger state: %d audits", got)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			e.Quiesce()
+			if got := auditCount(t, e); got != tc.want {
+				t.Fatalf("audits = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSeparateJoinConditionSeesLaterCommit is the counterpart: once
+// the modification is committed, a separate-coupled condition with
+// the same index path does see it.
+func TestSeparateJoinConditionSeesLaterCommit(t *testing.T) {
+	e, oid := setupJoinCondEngine(t)
+	def := rule.Def{
+		Name:      "join-cond-sep",
+		Event:     "modify(Stock)",
+		Condition: []string{joinCondQuery},
+		Action: []rule.Step{{
+			Kind: rule.StepCreate, Class: "Audit",
+			Attrs: map[string]string{"note": "'hit'"},
+		}},
+		EC: "separate", CA: "immediate",
+	}
+	if _, err := e.CreateRule(def); err != nil {
+		t.Fatal(err)
+	}
+	// First commit raises the price; the firing for THIS event may see
+	// 48 or 150 depending on scheduling, so quiesce and reset.
+	tx := e.Begin()
+	if err := e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(150)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	e.Quiesce()
+	base := auditCount(t, e)
+
+	// Price is now committed at 150: a new trigger's separate
+	// condition must be satisfied.
+	tx = e.Begin()
+	if err := e.Modify(tx, oid, map[string]datum.Value{"price": datum.Float(151)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	e.Quiesce()
+	if got := auditCount(t, e); got != base+1 {
+		t.Fatalf("audits = %d, want %d", got, base+1)
+	}
+}

@@ -141,6 +141,7 @@ const (
 	OpDelete      = "delete"
 	OpGet         = "get"
 	OpQuery       = "query"
+	OpExplain     = "explain"
 	OpDefineEvent = "defineEvent"
 	OpSignalEvent = "signalEvent"
 	OpCreateRule  = "createRule"
@@ -235,6 +236,19 @@ type QueryReq struct {
 type QueryRep struct {
 	Columns []string        `json:"columns"`
 	Rows    [][]datum.Value `json:"rows"`
+}
+
+// ExplainReq asks for the physical plan of a select statement; it is
+// planned, not executed. Reuses QueryReq's shape.
+type ExplainReq struct {
+	Txn  uint64                 `json:"txn"`
+	Src  string                 `json:"src"`
+	Args map[string]datum.Value `json:"args,omitempty"`
+}
+
+// ExplainRep returns the rendered plan.
+type ExplainRep struct {
+	Text string `json:"text"`
 }
 
 // DefineEventReq defines an external event.

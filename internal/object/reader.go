@@ -94,6 +94,42 @@ func (r *txnReader) LookupRange(class, attr string, lo, hi *datum.Value, loInc, 
 	return r.m.store.IndexCandidates(r.tx.ID(), class, attr, loB, hiB), true
 }
 
+// The methods below make every reader a plan.Catalog: the physical
+// planner draws its statistics from the same reader it executes
+// against. Estimates read current store state, not the reader's
+// snapshot — they only rank plans, never decide membership.
+
+// ExtentEstimate approximates the class's extent cardinality.
+func (r *txnReader) ExtentEstimate(class string) int {
+	return r.m.store.ExtentEstimate(class)
+}
+
+// HasIndex reports whether class.attr has a secondary index.
+func (r *txnReader) HasIndex(class, attr string) bool {
+	return r.m.store.HasIndex(class, attr)
+}
+
+// IndexEstimate counts index entries in [lo, hi] on class.attr,
+// stopping at limit; ok is false when no index exists.
+func (r *txnReader) IndexEstimate(class, attr string, lo, hi *datum.Value, loInc, hiInc bool, limit int) (int, bool) {
+	loB, hiB := btree.Open(), btree.Open()
+	if lo != nil {
+		if loInc {
+			loB = btree.Include(lo.Key())
+		} else {
+			loB = btree.Exclude(lo.Key())
+		}
+	}
+	if hi != nil {
+		if hiInc {
+			hiB = btree.Include(hi.Key())
+		} else {
+			hiB = btree.Exclude(hi.Key())
+		}
+	}
+	return r.m.store.IndexEstimate(class, attr, loB, hiB, limit)
+}
+
 // Fetch returns a live object by OID — lock-free, at the reader's
 // snapshot (or the newest published commit when unpinned).
 func (r *txnReader) Fetch(oid datum.OID) (string, map[string]datum.Value, bool) {

@@ -1,0 +1,93 @@
+package plan
+
+import (
+	"repro/internal/datum"
+	"repro/internal/query"
+)
+
+// enumerateCap bounds the plan count Enumerate returns; the
+// differential tests run every plan, so keep the space tractable.
+const enumerateCap = 200
+
+// Enumerate returns admissible physical plans for q: join-order
+// permutations (all of them up to 4 FROM clauses) crossed with every
+// access-path option per step. Built for the differential test suite
+// — each returned plan must produce exactly query.Eval's result.
+func Enumerate(q *query.Query, cat Catalog, args map[string]datum.Value) []*Plan {
+	known := map[string]bool{}
+	var vars []string
+	for _, f := range q.From {
+		vars = append(vars, f.Var)
+		known[f.Var] = true
+	}
+	conjuncts := query.SplitConjuncts(q.Where)
+
+	var orders [][]int
+	idx := make([]int, len(q.From))
+	for i := range idx {
+		idx[i] = i
+	}
+	if len(q.From) <= 4 {
+		orders = permutations(idx)
+	} else {
+		orders = [][]int{idx}
+	}
+
+	var plans []*Plan
+	for _, order := range orders {
+		boundEnv := query.NewEnv(nil, args)
+		constEnv := query.NewEnv(nil, args)
+		var rec func(pos int, steps []*step, outRows float64)
+		rec = func(pos int, steps []*step, outRows float64) {
+			if len(plans) >= enumerateCap {
+				return
+			}
+			if pos == len(order) {
+				p := &Plan{Query: q, vars: vars, stats: cat != nil}
+				p.steps = append([]*step(nil), steps...)
+				for _, s := range p.steps {
+					p.cost += s.estCost
+				}
+				assignResiduals(p, conjuncts, known)
+				plans = append(plans, p)
+				return
+			}
+			slot := order[pos]
+			f := q.From[slot]
+			// Hash joins need an outer side; skip the option set's
+			// hash entries at position 0 (accessOptions already omits
+			// them when the probe key has no bound variable).
+			opts := accessOptions(f, slot, conjuncts, boundEnv, cat, Options{})
+			boundEnv.Bind(f.Var, 0, nil)
+			for _, s := range opts {
+				costStep(s, conjuncts, known, boundEnv, constEnv, cat, outRows)
+				rec(pos+1, append(steps, s), s.estRows)
+			}
+			boundEnv.Unbind(f.Var)
+		}
+		rec(0, nil, 1)
+		if len(plans) >= enumerateCap {
+			break
+		}
+	}
+	if len(q.From) == 0 {
+		plans = append(plans, Build(q, cat, args, Options{}))
+	}
+	return plans
+}
+
+func permutations(idx []int) [][]int {
+	if len(idx) <= 1 {
+		return [][]int{append([]int(nil), idx...)}
+	}
+	var out [][]int
+	for i := range idx {
+		rest := make([]int, 0, len(idx)-1)
+		rest = append(rest, idx[:i]...)
+		rest = append(rest, idx[i+1:]...)
+		for _, p := range permutations(rest) {
+			out = append(out, append([]int{idx[i]}, p...))
+		}
+	}
+	return out
+}

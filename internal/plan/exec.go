@@ -1,0 +1,437 @@
+package plan
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/datum"
+	"repro/internal/query"
+)
+
+// execCtx is the per-Execute state shared by the operator tree: the
+// reader, and the expression environment holding the bindings of the
+// current pipeline prefix.
+type execCtx struct {
+	r   query.Reader
+	env *query.Env
+}
+
+// cand is one candidate object produced by a step's access path.
+type cand struct {
+	oid   datum.OID
+	attrs map[string]datum.Value
+}
+
+// tuple is one join-output row: a binding per syntactic FROM slot.
+type tuple []cand
+
+// rowSource is the volcano iterator contract. Invariant: after Next
+// returns a tuple, the env holds exactly that tuple's bindings (each
+// step binds its variable as it yields), so residuals and select
+// expressions evaluate against the current row.
+type rowSource interface {
+	Open(x *execCtx) error
+	Next(x *execCtx) (tuple, bool, error)
+	Close(x *execCtx)
+}
+
+// --- step candidates: pin / index scan / extent scan / hash probe ---
+
+// stepCands produces the candidates of one step for the current outer
+// bindings, applying the step's residual filters. Re-Opened per outer
+// row by the enclosing join; the hash table persists across re-Opens.
+type stepCands struct {
+	s     *step
+	cands []cand
+	i     int
+
+	table map[string][]cand // hash build table, built once per Execute
+	built bool
+}
+
+func (sc *stepCands) Open(x *execCtx) error {
+	sc.i = 0
+	sc.cands = sc.cands[:0]
+	switch sc.s.access {
+	case accessPin:
+		return sc.openPin(x)
+	case accessIndex:
+		return sc.openIndex(x)
+	case accessHash:
+		return sc.openHash(x)
+	default:
+		return sc.openExtent(x)
+	}
+}
+
+func (sc *stepCands) openPin(x *execCtx) error {
+	v, err := x.env.Eval(sc.s.pin)
+	if err != nil {
+		if errors.Is(err, query.ErrNoValue) {
+			return nil // residual `var = <missing>` rejects every row anyway
+		}
+		return err
+	}
+	if v.Kind() != datum.KindOID {
+		return nil // residual comparison to a non-OID is always false
+	}
+	cls, attrs, ok := x.r.Fetch(v.AsOID())
+	if !ok || cls != sc.s.from.Class {
+		return nil
+	}
+	sc.cands = append(sc.cands, cand{oid: v.AsOID(), attrs: attrs})
+	return nil
+}
+
+func (sc *stepCands) openIndex(x *execCtx) error {
+	var loV, hiV *datum.Value
+	if sc.s.lo != nil {
+		v, err := x.env.Eval(sc.s.lo)
+		if err != nil {
+			if errors.Is(err, query.ErrNoValue) {
+				return nil // the residual comparison is unknown=false for every row
+			}
+			return err
+		}
+		loV = &v
+	}
+	if sc.s.hi != nil {
+		if sc.s.hi == sc.s.lo {
+			hiV = loV
+		} else {
+			v, err := x.env.Eval(sc.s.hi)
+			if err != nil {
+				if errors.Is(err, query.ErrNoValue) {
+					return nil
+				}
+				return err
+			}
+			hiV = &v
+		}
+	}
+	oids, ok := x.r.LookupRange(sc.s.from.Class, sc.s.attr, loV, hiV, sc.s.loInc, sc.s.hiInc)
+	if !ok {
+		// The index vanished (or the reader has none): degrade to the
+		// extent scan; the residuals keep the result identical.
+		return sc.openExtent(x)
+	}
+	for _, oid := range oids {
+		cls, attrs, ok := x.r.Fetch(oid)
+		if !ok || cls != sc.s.from.Class {
+			continue
+		}
+		sc.cands = append(sc.cands, cand{oid: oid, attrs: attrs})
+	}
+	return nil
+}
+
+func (sc *stepCands) openExtent(x *execCtx) error {
+	return x.r.ScanClass(sc.s.from.Class, func(oid datum.OID, attrs map[string]datum.Value) bool {
+		sc.cands = append(sc.cands, cand{oid: oid, attrs: attrs})
+		return true
+	})
+}
+
+func (sc *stepCands) openHash(x *execCtx) error {
+	if !sc.built {
+		sc.table = map[string][]cand{}
+		var keyErr error
+		err := x.r.ScanClass(sc.s.from.Class, func(oid datum.OID, attrs map[string]datum.Value) bool {
+			x.env.Bind(sc.s.from.Var, oid, attrs)
+			v, err := x.env.Eval(sc.s.buildKey)
+			x.env.Unbind(sc.s.from.Var)
+			if err != nil {
+				if errors.Is(err, query.ErrNoValue) {
+					return true // a missing key never equals anything
+				}
+				keyErr = err
+				return false
+			}
+			if v.IsNull() {
+				return true // null never equals anything
+			}
+			sc.table[v.Key()] = append(sc.table[v.Key()], cand{oid: oid, attrs: attrs})
+			return true
+		})
+		if keyErr != nil {
+			return keyErr
+		}
+		if err != nil {
+			return err
+		}
+		sc.built = true
+	}
+	v, err := x.env.Eval(sc.s.probeKey)
+	if err != nil {
+		if errors.Is(err, query.ErrNoValue) {
+			return nil
+		}
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	// Bucket membership is a candidate set, not a verdict: datum keys
+	// collide across int/float precision loss, and the residual
+	// equality re-check decides — exactly the oracle's semantics.
+	sc.cands = append(sc.cands, sc.table[v.Key()]...)
+	return nil
+}
+
+// Next yields the next candidate that passes the residuals, with the
+// step's variable bound in the env.
+func (sc *stepCands) Next(x *execCtx) (cand, bool, error) {
+	for sc.i < len(sc.cands) {
+		c := sc.cands[sc.i]
+		sc.i++
+		x.env.Bind(sc.s.from.Var, c.oid, c.attrs)
+		pass := true
+		for _, r := range sc.s.residual {
+			ok, err := x.env.EvalBool(r)
+			if err != nil {
+				return cand{}, false, err
+			}
+			if !ok {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			return c, true, nil
+		}
+	}
+	return cand{}, false, nil
+}
+
+func (sc *stepCands) Close(x *execCtx) {
+	x.env.Unbind(sc.s.from.Var)
+	sc.cands = nil
+}
+
+// --- join pipeline ---
+
+// baseIter adapts the first step to a rowSource.
+type baseIter struct {
+	sc    stepCands
+	width int
+}
+
+func (b *baseIter) Open(x *execCtx) error { return b.sc.Open(x) }
+
+func (b *baseIter) Next(x *execCtx) (tuple, bool, error) {
+	c, ok, err := b.sc.Next(x)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	t := make(tuple, b.width)
+	t[b.sc.s.slot] = c
+	return t, true, nil
+}
+
+func (b *baseIter) Close(x *execCtx) { b.sc.Close(x) }
+
+// joinIter is the nested-loop join: for each outer tuple it re-Opens
+// the inner step (whose parameterized bounds or hash probe key see the
+// outer bindings through the env) and streams the matches. With an
+// index inner this is an index-nested-loop join; with a hash inner
+// the build happens on the first Open only.
+type joinIter struct {
+	outer     rowSource
+	sc        stepCands
+	cur       tuple
+	haveOuter bool
+}
+
+func (j *joinIter) Open(x *execCtx) error {
+	j.haveOuter = false
+	return j.outer.Open(x)
+}
+
+func (j *joinIter) Next(x *execCtx) (tuple, bool, error) {
+	for {
+		if !j.haveOuter {
+			t, ok, err := j.outer.Next(x)
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.cur = t
+			j.haveOuter = true
+			if err := j.sc.Open(x); err != nil {
+				return nil, false, err
+			}
+		}
+		c, ok, err := j.sc.Next(x)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			out := make(tuple, len(j.cur))
+			copy(out, j.cur)
+			out[j.sc.s.slot] = c
+			return out, true, nil
+		}
+		j.haveOuter = false
+	}
+}
+
+func (j *joinIter) Close(x *execCtx) {
+	j.sc.Close(x)
+	j.outer.Close(x)
+}
+
+// emitOnce handles a FROM-less query: the oracle emits exactly one
+// row without consulting the WHERE clause (bug-compatible on purpose).
+type emitOnce struct{ done bool }
+
+func (e *emitOnce) Open(*execCtx) error { e.done = false; return nil }
+func (e *emitOnce) Next(*execCtx) (tuple, bool, error) {
+	if e.done {
+		return nil, false, nil
+	}
+	e.done = true
+	return tuple{}, true, nil
+}
+func (e *emitOnce) Close(*execCtx) {}
+
+// --- execution ---
+
+// Execute runs the plan against r with the given event arguments and
+// returns a result identical to query.Eval's.
+func (p *Plan) Execute(r query.Reader, args map[string]datum.Value) (*query.Result, error) {
+	x := &execCtx{r: r, env: query.NewEnv(r, args)}
+
+	var root rowSource
+	if len(p.steps) == 0 {
+		root = &emitOnce{}
+	} else {
+		root = &baseIter{sc: stepCands{s: p.steps[0]}, width: len(p.vars)}
+		for _, s := range p.steps[1:] {
+			root = &joinIter{outer: root, sc: stepCands{s: s}}
+		}
+	}
+
+	// Materialize the join output, then restore the oracle's emission
+	// order with the canonical sort (see the package comment).
+	if err := root.Open(x); err != nil {
+		return nil, err
+	}
+	var tuples []tuple
+	for {
+		t, ok, err := root.Next(x)
+		if err != nil {
+			root.Close(x)
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		tuples = append(tuples, t)
+	}
+	root.Close(x)
+	sort.SliceStable(tuples, func(a, b int) bool {
+		ta, tb := tuples[a], tuples[b]
+		for i := range ta {
+			if ta[i].oid != tb[i].oid {
+				return ta[i].oid < tb[i].oid
+			}
+		}
+		return false
+	})
+
+	return p.emit(x, tuples)
+}
+
+// emit is the oracle's run() tail: select/aggregate per tuple in
+// canonical order, then ORDER BY's stable sort, then LIMIT.
+func (p *Plan) emit(x *execCtx, tuples []tuple) (*query.Result, error) {
+	q := p.Query
+	res := &query.Result{}
+	for _, s := range q.Select {
+		res.Columns = append(res.Columns, s.Name())
+	}
+
+	aggMode := len(q.Select) > 0 && query.HasAggregate(q.Select[0].Expr)
+	var aggs []*query.AggState
+	if aggMode {
+		aggs = make([]*query.AggState, len(q.Select))
+		for i := range aggs {
+			aggs[i] = &query.AggState{}
+		}
+	}
+
+	var sortKeys [][]datum.Value
+	for _, t := range tuples {
+		for slot, c := range t {
+			x.env.Bind(p.vars[slot], c.oid, c.attrs)
+		}
+		if aggMode {
+			for i, s := range q.Select {
+				if err := x.env.Accumulate(aggs[i], s.Expr); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		row := make([]datum.Value, len(q.Select))
+		for i, s := range q.Select {
+			v, err := x.env.Eval(s.Expr)
+			if err != nil && !errors.Is(err, query.ErrNoValue) {
+				return nil, err
+			}
+			row[i] = v
+		}
+		res.Rows = append(res.Rows, row)
+		if len(q.OrderBy) > 0 {
+			keys := make([]datum.Value, len(q.OrderBy))
+			for i, o := range q.OrderBy {
+				v, err := x.env.Eval(o.Expr)
+				if err != nil && !errors.Is(err, query.ErrNoValue) {
+					return nil, err
+				}
+				keys[i] = v
+			}
+			sortKeys = append(sortKeys, keys)
+		}
+	}
+
+	if aggMode {
+		row := make([]datum.Value, len(q.Select))
+		for i, s := range q.Select {
+			v, err := query.FinishAggregate(aggs[i], s.Expr)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if len(q.OrderBy) > 0 {
+		idx := make([]int, len(res.Rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ka, kb := sortKeys[idx[a]], sortKeys[idx[b]]
+			for c, o := range q.OrderBy {
+				if datum.Equal(ka[c], kb[c]) {
+					continue
+				}
+				less := datum.Less(ka[c], kb[c])
+				if o.Desc {
+					return !less
+				}
+				return less
+			}
+			return false
+		})
+		sorted := make([][]datum.Value, len(res.Rows))
+		for i, j := range idx {
+			sorted[i] = res.Rows[j]
+		}
+		res.Rows = sorted
+	}
+	if q.Limit >= 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}

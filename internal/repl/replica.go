@@ -16,6 +16,7 @@ import (
 	"repro/internal/ipc"
 	"repro/internal/object"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -314,7 +315,9 @@ func (r *Replica) Query(src string, args map[string]datum.Value) (*query.Result,
 	defer t.Commit()
 	sr := m.SnapshotReader(t)
 	defer sr.Close()
-	res, err := query.Eval(q, sr, args)
+	// Planner-backed execution, same as the primary's query path: the
+	// snapshot reader doubles as the statistics catalog.
+	res, err := plan.Run(q, sr, args)
 	if err != nil {
 		return nil, 0, err
 	}

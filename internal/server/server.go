@@ -502,6 +502,20 @@ func (s *session) handle(req *ipc.Message) {
 			return ipc.QueryRep{Columns: res.Columns, Rows: res.Rows}, nil
 		})
 
+	case ipc.OpExplain:
+		var body ipc.ExplainReq
+		if err := ipc.DecodeBody(req, &body); err != nil {
+			s.reply(req, nil, err)
+			return
+		}
+		s.withTxn(req, body.Txn, func(t *txn.Txn) (any, error) {
+			text, err := eng.Explain(t, body.Src, body.Args)
+			if err != nil {
+				return nil, err
+			}
+			return ipc.ExplainRep{Text: text}, nil
+		})
+
 	case ipc.OpDefineEvent:
 		var body ipc.DefineEventReq
 		if err := ipc.DecodeBody(req, &body); err != nil {

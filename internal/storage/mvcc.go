@@ -387,9 +387,7 @@ func (s *Store) gcChain(sh *shard, oid datum.OID, w uint64, res *GCResult) bool 
 	}
 	if dead {
 		for class := range classes {
-			if ev, ok := sh.extents.Load(class); ok {
-				ev.(*sync.Map).Delete(oid)
-			}
+			s.extentDel(sh, class, oid)
 		}
 		return true
 	}

@@ -77,8 +77,8 @@ func TestCommittersProgressMidScan(t *testing.T) {
 		commitOne(t, s, lock.TxnID(i+1), rec(s.AllocOID(), "F", map[string]datum.Value{"v": datum.Int(int64(i))}))
 	}
 
-	paused := make(chan struct{})  // closed when the scan is inside fn
-	resume := make(chan struct{})  // closed when the committer is done
+	paused := make(chan struct{}) // closed when the scan is inside fn
+	resume := make(chan struct{}) // closed when the committer is done
 	scanned := make(chan int, 1)
 	go func() {
 		n, first := 0, true

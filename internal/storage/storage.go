@@ -166,6 +166,7 @@ type Store struct {
 	shardMask uint64
 	dirty     sync.Map // lock.TxnID -> *txnDirty
 	modSeq    sync.Map // class string -> *atomic.Uint64
+	extentN   sync.Map // class string -> *atomic.Int64 (extent cardinality)
 	nextOID   atomic.Uint64
 	log       *wal.Log
 	dir       string
@@ -480,7 +481,7 @@ func (s *Store) Put(tx lock.TxnID, rec Record) {
 	}
 	e.nUnc.Store(int32(len(e.unc)))
 	e.umu.Unlock()
-	extentAdd(sh, rec.Class, rec.OID)
+	s.extentAdd(sh, rec.Class, rec.OID)
 	sh.mu.Unlock()
 	// Bump after the write so a stale ModSeq read can only under-claim
 	// freshness (forcing a harmless re-evaluation), never cache stale
@@ -537,7 +538,7 @@ func (s *Store) takeDirty(tx lock.TxnID) []datum.OID {
 // Membership is a superset: resolution filters tombstones and
 // invisible versions. sync.Map writes are safe without sh.mu, but all
 // callers hold it anyway (they are mutating the entry too).
-func extentAdd(sh *shard, class string, oid datum.OID) {
+func (s *Store) extentAdd(sh *shard, class string, oid datum.OID) {
 	var set *sync.Map
 	if v, ok := sh.extents.Load(class); ok {
 		set = v.(*sync.Map)
@@ -545,7 +546,68 @@ func extentAdd(sh *shard, class string, oid datum.OID) {
 		v, _ := sh.extents.LoadOrStore(class, &sync.Map{})
 		set = v.(*sync.Map)
 	}
-	set.Store(oid, struct{}{})
+	if _, present := set.LoadOrStore(oid, struct{}{}); !present {
+		s.extentCounter(class).Add(1)
+	}
+}
+
+// extentDel removes oid from class's extent membership, keeping the
+// cardinality counter in step. Caller holds sh.mu exclusively.
+func (s *Store) extentDel(sh *shard, class string, oid datum.OID) {
+	if ev, ok := sh.extents.Load(class); ok {
+		if _, present := ev.(*sync.Map).LoadAndDelete(oid); present {
+			s.extentCounter(class).Add(-1)
+		}
+	}
+}
+
+func (s *Store) extentCounter(class string) *atomic.Int64 {
+	if v, ok := s.extentN.Load(class); ok {
+		return v.(*atomic.Int64)
+	}
+	v, _ := s.extentN.LoadOrStore(class, &atomic.Int64{})
+	return v.(*atomic.Int64)
+}
+
+// ExtentEstimate returns the approximate cardinality of class's
+// extent: the number of extent-membership entries across all shards,
+// maintained O(1) at insert/remove. It over-counts live rows by
+// uncommitted inserts and not-yet-GC'd tombstone-headed chains, which
+// is fine for its purpose — planner cost estimation.
+func (s *Store) ExtentEstimate(class string) int {
+	if v, ok := s.extentN.Load(class); ok {
+		if n := v.(*atomic.Int64).Load(); n > 0 {
+			return int(n)
+		}
+	}
+	return 0
+}
+
+// IndexEstimate counts committed-tier index entries on class.attr in
+// [lo, hi], stopping early once limit entries are seen (pass limit<=0
+// for an exact count). ok is false when no index exists. The count
+// includes entries for older, not-yet-GC'd versions — like the extent
+// estimate it is a cheap upper bound for cost estimation, not an
+// exact selectivity.
+func (s *Store) IndexEstimate(class, attr string, lo, hi btree.Bound, limit int) (int, bool) {
+	if !s.HasIndex(class, attr) {
+		return 0, false
+	}
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if t := sh.indexes[class][attr]; t != nil {
+			t.Scan(lo, hi, func(string, datum.OID) bool {
+				n++
+				return limit <= 0 || n < limit
+			})
+		}
+		sh.mu.RUnlock()
+		if limit > 0 && n >= limit {
+			break
+		}
+	}
+	return n, true
 }
 
 // Get returns the version of the object visible to tx: the newest
@@ -1057,16 +1119,14 @@ func (s *Store) installCommitted(sh *shard, owner lock.TxnID, rec Record, clsn u
 	if s.loading {
 		if rec.Deleted {
 			sh.objects.Delete(rec.OID)
-			if ev, ok := sh.extents.Load(rec.Class); ok {
-				ev.(*sync.Map).Delete(rec.OID)
-			}
+			s.extentDel(sh, rec.Class, rec.OID)
 			return
 		}
 		e := s.entryLocked(sh, rec.OID)
 		nv := &mvVersion{lsn: clsn, rec: rec}
 		nv.depth.Store(1)
 		e.head.Store(nv)
-		extentAdd(sh, rec.Class, rec.OID)
+		s.extentAdd(sh, rec.Class, rec.OID)
 		return
 	}
 	e := s.entryLocked(sh, rec.OID)
@@ -1099,7 +1159,7 @@ func (s *Store) installCommitted(sh *shard, owner lock.TxnID, rec Record, clsn u
 	s.obsm.ObserveN(obs.HVersionChain, uint64(depth))
 	if !rec.Deleted {
 		indexInsert(sh, rec)
-		extentAdd(sh, rec.Class, rec.OID)
+		s.extentAdd(sh, rec.Class, rec.OID)
 	}
 	if old != nil || rec.Deleted {
 		// Inline trim: with no snapshot registered anywhere, versions
@@ -1155,9 +1215,7 @@ func (s *Store) AbortTxn(tx lock.TxnID) {
 			// Never committed and no other writer: drop the entry.
 			sh.objects.Delete(oid)
 			if class != "" {
-				if ev, ok := sh.extents.Load(class); ok {
-					ev.(*sync.Map).Delete(oid)
-				}
+				s.extentDel(sh, class, oid)
 			}
 		}
 		sh.mu.Unlock()
