@@ -1,0 +1,210 @@
+// C21 — parallel query execution: an unselective extent scan, a
+// 3-way hash join (Holding x Stock x Sector), and a full-extent
+// aggregate, each evaluated at plan parallelism 1, 2, and 8. Every
+// parallel cell is DeepEqual-gated against the serial plan and the
+// tree-walk oracle before timing — the executor's contract is that
+// parallelism never changes the answer, only the wall clock. The
+// speedup bar (parallel-8 at least 2x serial on the scan and join)
+// only applies on hosts with 4+ CPUs; on smaller hosts the parallel
+// cells measure goroutine oversubscription, so the experiment reports
+// the ratios and gates on correctness alone.
+package main
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/object"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+const (
+	c21Stocks   = 512
+	c21Sectors  = 16
+	c21Holdings = 100_000
+	c21Batch    = 25_000
+)
+
+// c21Classes: Holding.symbol and Stock.sector are deliberately
+// unindexed so the scan cell has no index escape hatch and the joins
+// go through the partitioned hash path.
+func c21Classes() []object.Class {
+	return []object.Class{
+		{Name: "Stock", Attrs: []object.AttrDef{
+			{Name: "symbol", Kind: datum.KindString, Required: true, Indexed: true},
+			{Name: "sector", Kind: datum.KindString, Required: true},
+			{Name: "price", Kind: datum.KindFloat},
+		}},
+		{Name: "Holding", Attrs: []object.AttrDef{
+			{Name: "owner", Kind: datum.KindString, Required: true},
+			{Name: "symbol", Kind: datum.KindString, Required: true},
+			{Name: "qty", Kind: datum.KindInt, Required: true},
+		}},
+		{Name: "Sector", Attrs: []object.AttrDef{
+			{Name: "name", Kind: datum.KindString, Required: true},
+			{Name: "boost", Kind: datum.KindInt, Required: true},
+		}},
+	}
+}
+
+func expC21(quick bool) error {
+	holdings := c21Holdings
+	evalIters, reps := 5, 3
+	if quick {
+		holdings = 40_000
+		evalIters, reps = 3, 2
+	}
+
+	e, _ := workload.MustEngine()
+	defer e.Close()
+	tx := e.Begin()
+	for _, cls := range c21Classes() {
+		if err := e.DefineClass(tx, cls); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < c21Sectors; i++ {
+		if _, err := e.Create(tx, "Sector", map[string]datum.Value{
+			"name":  datum.Str(fmt.Sprintf("sector%02d", i)),
+			"boost": datum.Int(int64(i)),
+		}); err != nil {
+			return err
+		}
+	}
+	symbols := make([]string, c21Stocks)
+	for i := range symbols {
+		symbols[i] = fmt.Sprintf("S%04d", i)
+		if _, err := e.Create(tx, "Stock", map[string]datum.Value{
+			"symbol": datum.Str(symbols[i]),
+			"sector": datum.Str(fmt.Sprintf("sector%02d", i%c21Sectors)),
+			"price":  datum.Float(float64(10 + i%90)),
+		}); err != nil {
+			return err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	for base := 0; base < holdings; base += c21Batch {
+		bt := e.Begin()
+		end := base + c21Batch
+		if end > holdings {
+			end = holdings
+		}
+		for i := base; i < end; i++ {
+			if _, err := e.Create(bt, "Holding", map[string]datum.Value{
+				"owner":  datum.Str(fmt.Sprintf("acct%04d", i%4096)),
+				"symbol": datum.Str(symbols[i%c21Stocks]),
+				"qty":    datum.Int(int64(1 + i%100)),
+			}); err != nil {
+				return err
+			}
+		}
+		if err := bt.Commit(); err != nil {
+			return err
+		}
+	}
+
+	cells := []struct{ name, src string }{
+		{"scan", "select h.qty from Holding h where h.qty >= 0"},
+		{"join3", "select h.qty, s.price, c.boost from Holding h, Stock s, Sector c " +
+			"where h.symbol = s.symbol and s.sector = c.name"},
+		{"agg", "select count(*) as n, sum(h.qty) as total, min(h.qty) as lo, max(h.qty) as hi " +
+			"from Holding h"},
+	}
+	pars := []int{1, 2, 8}
+
+	eval := func(src string, par int) (*query.Result, string, error) {
+		rtx := e.Begin()
+		sr := e.Objects.SnapshotReader(rtx)
+		defer func() { sr.Close(); rtx.Commit() }()
+		p := plan.Build(query.MustParse(src), sr, nil, plan.Options{Parallelism: par})
+		res, err := p.Execute(sr, nil)
+		return res, p.Explain(), err
+	}
+	oracle := func(src string) (*query.Result, error) {
+		rtx := e.Begin()
+		sr := e.Objects.SnapshotReader(rtx)
+		defer func() { sr.Close(); rtx.Commit() }()
+		return query.Eval(query.MustParse(src), sr, nil)
+	}
+
+	// Correctness gates before any timing: every parallelism returns
+	// the serial plan's rows, which in turn match the tree-walk.
+	for _, cell := range cells {
+		want, err := oracle(cell.src)
+		if err != nil {
+			return err
+		}
+		for _, par := range pars {
+			got, explain, err := eval(cell.src, par)
+			if err != nil {
+				return fmt.Errorf("%s @p%d: %w", cell.name, par, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				return fmt.Errorf("%s @p%d diverges from the tree-walk oracle\n%s",
+					cell.name, par, explain)
+			}
+			if par > 1 && !strings.Contains(explain, fmt.Sprintf("parallel=%d", par)) {
+				return fmt.Errorf("%s @p%d plan has no parallel step:\n%s",
+					cell.name, par, explain)
+			}
+		}
+	}
+
+	// Timing: the seeded heap is large, so best-of-reps with a
+	// collection before each rep (and a relaxed GC target) keeps the
+	// cells stable — same discipline as C20.
+	oldGC := debug.SetGCPercent(400)
+	defer debug.SetGCPercent(oldGC)
+	best := map[string]map[int]time.Duration{}
+	for _, cell := range cells {
+		best[cell.name] = map[int]time.Duration{}
+		for _, par := range pars {
+			for r := 0; r < reps; r++ {
+				runtime.GC()
+				per, err := measure(evalIters, func(int) error {
+					_, _, err := eval(cell.src, par)
+					return err
+				})
+				if err != nil {
+					return err
+				}
+				if cur := best[cell.name][par]; cur == 0 || per < cur {
+					best[cell.name][par] = per
+				}
+			}
+			recordMetric(fmt.Sprintf("C21/%s/p%d", cell.name, par),
+				float64(best[cell.name][par]))
+		}
+	}
+
+	row("cell", "p1", "p2", "p8", "p1/p8")
+	for _, cell := range cells {
+		b := best[cell.name]
+		row(cell.name, b[1].Round(time.Microsecond), b[2].Round(time.Microsecond),
+			b[8].Round(time.Microsecond), fmt.Sprintf("%.2f", float64(b[1])/float64(b[8])))
+	}
+	row("holdings / cpus / procs", fmt.Sprintf("%d / %d / %d",
+		holdings, runtime.NumCPU(), runtime.GOMAXPROCS(0)))
+
+	// The scalability bar needs real cores; with fewer than 4 the p8
+	// cells measure scheduling overhead, which is exactly what the
+	// gomaxprocs field in -json exists to flag.
+	if runtime.NumCPU() >= 4 {
+		for _, cell := range []string{"scan", "join3"} {
+			speedup := float64(best[cell][1]) / float64(best[cell][8])
+			if speedup < 2 {
+				return fmt.Errorf("%s parallel-8 speedup %.2fx below the 2x bar", cell, speedup)
+			}
+		}
+	}
+	return nil
+}

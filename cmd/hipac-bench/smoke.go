@@ -28,10 +28,11 @@ const benchSchema = "hipac-bench/v1"
 // benchFile is the -json / -compare file format: a flat metric map so
 // diffing two runs is a key-by-key ratio.
 type benchFile struct {
-	Schema  string             `json:"schema"`
-	Go      string             `json:"go"`
-	NumCPU  int                `json:"num_cpu"`
-	Metrics map[string]float64 `json:"metrics"` // name -> ns/op
+	Schema     string             `json:"schema"`
+	Go         string             `json:"go"`
+	NumCPU     int                `json:"num_cpu"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Metrics    map[string]float64 `json:"metrics"` // name -> ns/op
 }
 
 var metricsOut = struct {
@@ -48,7 +49,8 @@ func recordMetric(name string, nsPerOp float64) {
 // writeBenchJSON writes every metric recorded during this run.
 func writeBenchJSON(path string) error {
 	out := benchFile{Schema: benchSchema, Go: runtime.Version(),
-		NumCPU: runtime.NumCPU(), Metrics: metricsOut.m}
+		NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+		Metrics: metricsOut.m}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -80,6 +82,16 @@ func compareBenchJSON(path string, threshold float64) error {
 		fmt.Printf("WARNING: baseline %s recorded on %d CPUs, this host has %d: "+
 			"reporting deltas but skipping the regression gate\n",
 			path, base.NumCPU, runtime.NumCPU())
+		gate = false
+	}
+	// GOMAXPROCS matters the same way num_cpu does: the parallel cells
+	// (C16/C17 p8, C21 scan/join scaling) measure oversubscription when
+	// GOMAXPROCS < workers, so a baseline from a differently capped
+	// runtime is informational only.
+	if base.GoMaxProcs != 0 && base.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		fmt.Printf("WARNING: baseline %s recorded at GOMAXPROCS=%d, this run has %d: "+
+			"reporting deltas but skipping the regression gate\n",
+			path, base.GoMaxProcs, runtime.GOMAXPROCS(0))
 		gate = false
 	}
 	names := make([]string, 0, len(base.Metrics))

@@ -23,6 +23,7 @@
 //	get <#oid>                     show an object
 //	select ...                     run a query (whole line)
 //	explain select ...             show the query's physical plan
+//	                               (parallel steps print parallel=N)
 //	event <Name> [param ...]       define an external event
 //	signal <Name> <param>=<value> ...      signal an external event
 //	rule <file.json>               create a rule from a JSON definition
@@ -575,7 +576,7 @@ const helpText = `commands:
   modify <#oid> <attr>=<value> ...
   delete <#oid> | get <#oid>
   select <query>
-  explain select <query>
+  explain select <query>   (steps past the parallel gate print parallel=N)
   event <Name> [param ...]
   signal <Name> <param>=<value> ...
   rule <file.json> | replace <file.json> | rules
@@ -606,6 +607,18 @@ func runSnapshot(out io.Writer, args []string) error {
 	if info.Kind == "delta" {
 		fmt.Fprintf(out, "parent:    watermark %d, crc %08x\n",
 			info.ParentWatermark, info.ParentCRC)
+	}
+	if len(info.ClassCards) > 0 {
+		names := make([]string, 0, len(info.ClassCards))
+		for name := range info.ClassCards {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, name := range names {
+			parts[i] = fmt.Sprintf("%s=%d", name, info.ClassCards[name])
+		}
+		fmt.Fprintf(out, "stats:     %s\n", strings.Join(parts, " "))
 	}
 	fmt.Fprintf(out, "records:   %d\n", info.Records)
 	status := "ok"

@@ -60,18 +60,21 @@ func main() {
 		"run as a read replica of the primary's -repl-listen address (requires -dir)")
 	treeWalk := flag.Bool("tree-walk-queries", false,
 		"evaluate queries and rule conditions with the legacy tree-walk evaluator instead of the cost-based planner")
+	queryPar := flag.Int("query-parallelism", 0,
+		"worker cap for parallel query plan steps (shard-parallel scans, partitioned hash joins); 0: derive from GOMAXPROCS, 1: serial")
 	flag.Parse()
 
 	if *replicaOf != "" {
 		runReplica(*addr, *dir, *replicaOf, *metrics, replicaConfig{
-			nosync: *nosync, shards: *shards, ckptBytes: *ckptBytes, ckptCompact: *ckptCompact})
+			nosync: *nosync, shards: *shards, ckptBytes: *ckptBytes, ckptCompact: *ckptCompact,
+			queryPar: *queryPar})
 		return
 	}
 
 	eng, err := core.Open(core.Options{Dir: *dir, NoSync: *nosync, GroupCommitWindow: *window,
 		CheckpointInterval: *ckptEvery, CheckpointAfterBytes: *ckptBytes,
 		CheckpointCompactEvery: *ckptCompact, StoreShards: *shards, CEPShards: *cepShards,
-		TreeWalkQueries: *treeWalk})
+		TreeWalkQueries: *treeWalk, QueryParallelism: *queryPar})
 	if err != nil {
 		log.Fatalf("hipacd: open engine: %v", err)
 	}
@@ -135,6 +138,7 @@ type replicaConfig struct {
 	shards      int
 	ckptBytes   uint64
 	ckptCompact int
+	queryPar    int
 }
 
 // runReplica serves read-only traffic from a replica of the primary
@@ -198,7 +202,8 @@ func runReplica(addr, dir, primaryAddr, metrics string, cfg replicaConfig) {
 	// Promotion: the replica store is closed and flushed; reopen it as
 	// a writable engine on the same address. The brief listener gap is
 	// the cost of the manual-failover design.
-	eng, err := core.Open(core.Options{Dir: d, NoSync: cfg.nosync, StoreShards: cfg.shards})
+	eng, err := core.Open(core.Options{Dir: d, NoSync: cfg.nosync, StoreShards: cfg.shards,
+		QueryParallelism: cfg.queryPar})
 	if err != nil {
 		log.Fatalf("hipacd: promote: open engine on %s: %v", d, err)
 	}

@@ -78,6 +78,13 @@ type Options struct {
 	// flag exists so a planner regression can be ruled in or out in
 	// production without a rebuild.
 	TreeWalkQueries bool
+	// QueryParallelism caps the planner executor's degree of
+	// parallelism for queries and condition evaluation: 0 derives it
+	// from GOMAXPROCS, 1 forces serial execution, N>1 allows up to N
+	// workers per parallel plan step. Parallel plans return
+	// bit-identical results to serial ones; the knob only trades CPU
+	// for latency. Ignored when TreeWalkQueries is set.
+	QueryParallelism int
 	// Clock supplies time for temporal events; nil means the wall
 	// clock. Tests pass a *clock.Virtual.
 	Clock clock.Clock
@@ -95,7 +102,8 @@ type AppHandler func(args map[string]datum.Value) (map[string]datum.Value, error
 // Engine is an active DBMS instance.
 type Engine struct {
 	clk      clock.Clock
-	treeWalk bool // evaluate queries with the tree-walk oracle
+	treeWalk bool         // evaluate queries with the tree-walk oracle
+	planOpts plan.Options // parallelism + observer for the planner executor
 
 	Txns       *txn.Manager
 	Locks      *lock.Manager
@@ -164,8 +172,9 @@ func Open(opts Options) (*Engine, error) {
 	objects := object.NewManager(store, nil)
 	conds := cond.New(store.ModSeq)
 	conds.SetObserver(o.Metrics())
+	planOpts := plan.Options{Parallelism: opts.QueryParallelism, Obs: o.Metrics()}
 	if !opts.TreeWalkQueries {
-		conds.SetExec(plan.Run)
+		conds.SetExec(plan.Exec(planOpts))
 	}
 	rules := rule.NewManager(txns, objects, conds)
 	rules.SetObs(o)
@@ -173,6 +182,7 @@ func Open(opts Options) (*Engine, error) {
 	e := &Engine{
 		clk:        clk,
 		treeWalk:   opts.TreeWalkQueries,
+		planOpts:   planOpts,
 		Txns:       txns,
 		Locks:      locks,
 		Store:      store,
@@ -350,7 +360,7 @@ func (e *Engine) Query(tx *txn.Txn, src string, args map[string]datum.Value) (*q
 	if e.treeWalk {
 		return query.Eval(q, reader, args)
 	}
-	return plan.Run(q, reader, args)
+	return plan.Exec(e.planOpts)(q, reader, args)
 }
 
 // Explain parses src and returns the physical plan the cost-based
@@ -363,7 +373,7 @@ func (e *Engine) Explain(tx *txn.Txn, src string, args map[string]datum.Value) (
 	reader := e.Objects.SnapshotReader(tx)
 	defer reader.Close()
 	cat, _ := query.Reader(reader).(plan.Catalog)
-	return plan.Build(q, cat, args, plan.Options{}).Explain(), nil
+	return plan.Build(q, cat, args, e.planOpts).Explain(), nil
 }
 
 // --- operations on events (Fig 4.1) ---

@@ -130,6 +130,38 @@ func (r *txnReader) IndexEstimate(class, attr string, lo, hi *datum.Value, loInc
 	return r.m.store.IndexEstimate(class, attr, loB, hiB, limit)
 }
 
+// The methods below make every reader a plan.ShardScanner, the
+// parallel executor's fan-out surface: one worker per committed-tier
+// shard walks its slice of a class extent, all pinned at one snapshot
+// LSN so the union of the shard scans is exactly what ScanClass at
+// that LSN would visit.
+
+// ShardCount returns the committed tier's shard count.
+func (r *txnReader) ShardCount() int { return r.m.store.ShardCount() }
+
+// PinShards returns the snapshot LSN every shard worker must scan at,
+// plus a release for the pin backing it. A pinned reader hands out its
+// own immobile LSN (release is a no-op — the reader's pin outlives the
+// scan); an unpinned reader acquires a pin for the scan's duration so
+// version GC cannot reclaim rows mid-fan-out.
+func (r *txnReader) PinShards() (uint64, func()) {
+	if r.snap != nil {
+		return r.snap.LSN(), func() {}
+	}
+	snap := r.m.store.AcquireSnapshot()
+	return snap.LSN(), snap.Release
+}
+
+// ScanClassShard visits the class's live objects held by shard si, in
+// OID order within the shard, at the given snapshot LSN. tx's own
+// uncommitted writes are visible, matching ScanClass.
+func (r *txnReader) ScanClassShard(si int, class string, lsn uint64, fn func(datum.OID, map[string]datum.Value) bool) error {
+	r.m.store.ScanClassShardAt(r.tx.ID(), si, class, lsn, func(rec storage.Record) bool {
+		return fn(rec.OID, rec.Attrs)
+	})
+	return nil
+}
+
 // Fetch returns a live object by OID — lock-free, at the reader's
 // snapshot (or the newest published commit when unpinned).
 func (r *txnReader) Fetch(oid datum.OID) (string, map[string]datum.Value, bool) {

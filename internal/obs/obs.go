@@ -85,6 +85,13 @@ const (
 	// send timestamp to follower apply completion, as observed by the
 	// follower (meaningful when both share a clock).
 	HReplLag
+	// HPlanFanout: worker count of one parallel plan stage (scan,
+	// join, or aggregate fan-out). A count histogram like HWALGroup.
+	HPlanFanout
+	// HPlanGatherWait: gather-stage skew of one parallel plan stage —
+	// the gap between the first and last worker finishing, i.e. how
+	// long the gather node idles on stragglers.
+	HPlanGatherWait
 
 	numHists
 )
@@ -97,13 +104,14 @@ var histNames = [numHists]string{
 	"commit_shards", "cep_partials", "cep_instances",
 	"version_chain_len", "snapshot_read",
 	"repl_batch_bytes", "repl_lag",
+	"plan_parallel_fanout", "plan_gather_wait",
 }
 
 // histIsCount marks histograms whose observations are counts recorded
 // via ObserveN, not durations.
 var histIsCount = [numHists]bool{HWALGroup: true, HWALReclaimed: true, HDeltaRecords: true,
 	HCommitShards: true, HCEPPartials: true, HCEPInstances: true, HVersionChain: true,
-	HReplBatch: true}
+	HReplBatch: true, HPlanFanout: true}
 
 // HistNames returns the canonical histogram names in display order;
 // snapshot maps are keyed by these.

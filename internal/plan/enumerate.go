@@ -13,7 +13,10 @@ const enumerateCap = 200
 // permutations (all of them up to 4 FROM clauses) crossed with every
 // access-path option per step. Built for the differential test suite
 // — each returned plan must produce exactly query.Eval's result.
-func Enumerate(q *query.Query, cat Catalog, args map[string]datum.Value) []*Plan {
+// opt's parallelism settings apply to every returned plan (the
+// differential rounds force the parallel paths through here); its
+// access constraints are ignored — enumeration wants the whole space.
+func Enumerate(q *query.Query, cat Catalog, args map[string]datum.Value, opt Options) []*Plan {
 	known := map[string]bool{}
 	var vars []string
 	for _, f := range q.From {
@@ -44,11 +47,20 @@ func Enumerate(q *query.Query, cat Catalog, args map[string]datum.Value) []*Plan
 			}
 			if pos == len(order) {
 				p := &Plan{Query: q, vars: vars, stats: cat != nil}
-				p.steps = append([]*step(nil), steps...)
+				// Steps are shared across enumerated plans, so copy
+				// before the per-plan residual and parallelism marks.
+				for _, s := range steps {
+					dup := *s
+					dup.residual = nil
+					dup.par = 0
+					p.steps = append(p.steps, &dup)
+				}
 				for _, s := range p.steps {
 					p.cost += s.estCost
 				}
 				assignResiduals(p, conjuncts, known)
+				p.obs = opt.Obs
+				markParallel(p, cat, opt)
 				plans = append(plans, p)
 				return
 			}
@@ -71,7 +83,7 @@ func Enumerate(q *query.Query, cat Catalog, args map[string]datum.Value) []*Plan
 		}
 	}
 	if len(q.From) == 0 {
-		plans = append(plans, Build(q, cat, args, Options{}))
+		plans = append(plans, Build(q, cat, args, opt))
 	}
 	return plans
 }

@@ -9,11 +9,13 @@ import (
 )
 
 // execCtx is the per-Execute state shared by the operator tree: the
-// reader, and the expression environment holding the bindings of the
-// current pipeline prefix.
+// reader, the expression environment holding the bindings of the
+// current pipeline prefix, and the event arguments (kept so parallel
+// stages can mint per-worker environments).
 type execCtx struct {
-	r   query.Reader
-	env *query.Env
+	r    query.Reader
+	env  *query.Env
+	args map[string]datum.Value
 }
 
 // cand is one candidate object produced by a step's access path.
@@ -45,7 +47,9 @@ type stepCands struct {
 	cands []cand
 	i     int
 
-	table map[string][]cand // hash build table, built once per Execute
+	// table is the hash build side, built on first Open (or injected
+	// pre-built by a parallel probe stage) and immutable afterwards.
+	table *hashTable
 	built bool
 }
 
@@ -134,31 +138,11 @@ func (sc *stepCands) openExtent(x *execCtx) error {
 
 func (sc *stepCands) openHash(x *execCtx) error {
 	if !sc.built {
-		sc.table = map[string][]cand{}
-		var keyErr error
-		err := x.r.ScanClass(sc.s.from.Class, func(oid datum.OID, attrs map[string]datum.Value) bool {
-			x.env.Bind(sc.s.from.Var, oid, attrs)
-			v, err := x.env.Eval(sc.s.buildKey)
-			x.env.Unbind(sc.s.from.Var)
-			if err != nil {
-				if errors.Is(err, query.ErrNoValue) {
-					return true // a missing key never equals anything
-				}
-				keyErr = err
-				return false
-			}
-			if v.IsNull() {
-				return true // null never equals anything
-			}
-			sc.table[v.Key()] = append(sc.table[v.Key()], cand{oid: oid, attrs: attrs})
-			return true
-		})
-		if keyErr != nil {
-			return keyErr
-		}
+		t, err := buildHashSerial(x, sc.s, 1)
 		if err != nil {
 			return err
 		}
+		sc.table = t
 		sc.built = true
 	}
 	v, err := x.env.Eval(sc.s.probeKey)
@@ -174,7 +158,7 @@ func (sc *stepCands) openHash(x *execCtx) error {
 	// Bucket membership is a candidate set, not a verdict: datum keys
 	// collide across int/float precision loss, and the residual
 	// equality re-check decides — exactly the oracle's semantics.
-	sc.cands = append(sc.cands, sc.table[v.Key()]...)
+	sc.cands = append(sc.cands, sc.table.get(v.Key())...)
 	return nil
 }
 
@@ -296,10 +280,39 @@ func (e *emitOnce) Close(*execCtx) {}
 // --- execution ---
 
 // Execute runs the plan against r with the given event arguments and
-// returns a result identical to query.Eval's.
+// returns a result identical to query.Eval's. Plans with parallel
+// steps run the staged fan-out pipeline (parallel.go); the canonical
+// sort below makes both production orders emit identically.
 func (p *Plan) Execute(r query.Reader, args map[string]datum.Value) (*query.Result, error) {
-	x := &execCtx{r: r, env: query.NewEnv(r, args)}
+	x := &execCtx{r: r, env: query.NewEnv(r, args), args: args}
 
+	var tuples []tuple
+	var err error
+	if p.maxPar() > 1 {
+		tuples, err = p.joinParallel(x)
+	} else {
+		tuples, err = p.joinSerial(x)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Restore the oracle's emission order with the canonical sort
+	// (see the package comment).
+	sort.SliceStable(tuples, func(a, b int) bool {
+		ta, tb := tuples[a], tuples[b]
+		for i := range ta {
+			if ta[i].oid != tb[i].oid {
+				return ta[i].oid < tb[i].oid
+			}
+		}
+		return false
+	})
+
+	return p.emit(x, tuples)
+}
+
+// joinSerial materializes the join output through the volcano tree.
+func (p *Plan) joinSerial(x *execCtx) ([]tuple, error) {
 	var root rowSource
 	if len(p.steps) == 0 {
 		root = &emitOnce{}
@@ -309,9 +322,6 @@ func (p *Plan) Execute(r query.Reader, args map[string]datum.Value) (*query.Resu
 			root = &joinIter{outer: root, sc: stepCands{s: s}}
 		}
 	}
-
-	// Materialize the join output, then restore the oracle's emission
-	// order with the canonical sort (see the package comment).
 	if err := root.Open(x); err != nil {
 		return nil, err
 	}
@@ -328,17 +338,7 @@ func (p *Plan) Execute(r query.Reader, args map[string]datum.Value) (*query.Resu
 		tuples = append(tuples, t)
 	}
 	root.Close(x)
-	sort.SliceStable(tuples, func(a, b int) bool {
-		ta, tb := tuples[a], tuples[b]
-		for i := range ta {
-			if ta[i].oid != tb[i].oid {
-				return ta[i].oid < tb[i].oid
-			}
-		}
-		return false
-	})
-
-	return p.emit(x, tuples)
+	return tuples, nil
 }
 
 // emit is the oracle's run() tail: select/aggregate per tuple in
@@ -353,9 +353,26 @@ func (p *Plan) emit(x *execCtx, tuples []tuple) (*query.Result, error) {
 	aggMode := len(q.Select) > 0 && query.HasAggregate(q.Select[0].Expr)
 	var aggs []*query.AggState
 	if aggMode {
-		aggs = make([]*query.AggState, len(q.Select))
-		for i := range aggs {
-			aggs[i] = &query.AggState{}
+		// Parallel plans try chunked partial aggregation first; it
+		// hands back exact merged states or declines (order-sensitive
+		// accumulation), in which case the serial loop below runs
+		// over the same canonically sorted tuples — bit-identical
+		// either way.
+		if p.maxPar() > 1 {
+			merged, ok, err := p.parallelAggregate(x, tuples)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				aggs = merged
+				tuples = nil // already accumulated; skip the loop
+			}
+		}
+		if aggs == nil {
+			aggs = make([]*query.AggState, len(q.Select))
+			for i := range aggs {
+				aggs[i] = &query.AggState{}
+			}
 		}
 	}
 

@@ -32,6 +32,9 @@ func (p *Plan) Explain() string {
 		case accessHash:
 			fmt.Fprintf(&sb, ": build %s, probe %s", s.buildKey.String(), s.probeKey.String())
 		}
+		if s.par > 1 {
+			fmt.Fprintf(&sb, " parallel=%d", s.par)
+		}
 		fmt.Fprintf(&sb, " (est %.0f rows", s.estRows)
 		if i > 0 {
 			sb.WriteString(" cumulative")

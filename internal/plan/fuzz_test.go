@@ -63,8 +63,9 @@ func FuzzPlan(f *testing.F) {
 			Build(q, store, args, Options{DisableIndex: true}),
 			Build(q, store, args, Options{DisableHash: true}),
 			Build(q, nil, args, Options{ForceOrder: true}),
+			Build(q, store, args, Options{Parallelism: 4, ParallelThreshold: -1}),
 		}
-		plans = append(plans, Enumerate(q, store, args)...)
+		plans = append(plans, Enumerate(q, store, args, Options{})...)
 		for i, p := range plans {
 			got, gerr := p.Execute(store, args)
 			if werr != nil || gerr != nil {

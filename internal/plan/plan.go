@@ -40,8 +40,10 @@ package plan
 
 import (
 	"math"
+	"runtime"
 
 	"repro/internal/datum"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -69,6 +71,24 @@ type Options struct {
 	DisableHash bool
 	// ForceOrder keeps the syntactic FROM order.
 	ForceOrder bool
+	// Parallelism caps the executor's degree of parallelism: 0
+	// derives it from GOMAXPROCS (capped at maxParallelism), 1 forces
+	// serial execution, N>1 allows up to N workers per parallel step.
+	// Parallel plans return bit-identical results to serial ones: the
+	// canonical OID sort fixes tuple order regardless of production
+	// order, and order-sensitive aggregates re-accumulate serially
+	// (see MergeAggState).
+	Parallelism int
+	// ParallelThreshold is the estimated input cardinality (extent
+	// size for scans and hash builds, outer rows for joins) a step
+	// must reach before it fans out; below it worker setup and the
+	// exchange cost more than they save. 0 means the default
+	// (defaultParallelThreshold); negative removes the floor so every
+	// eligible step parallelizes — for tests.
+	ParallelThreshold int
+	// Obs receives the executor's fan-out width and gather-skew
+	// observations; nil records nothing.
+	Obs *obs.Metrics
 }
 
 type access int
@@ -126,6 +146,10 @@ type step struct {
 
 	estRows float64 // cumulative output rows after this step
 	estCost float64 // cost charged for this step
+
+	// par is the step's degree of parallelism (0 or 1 means serial):
+	// shard workers for a base extent scan, probe workers for a join.
+	par int
 }
 
 // Plan is a compiled physical plan. It is immutable after Build and
@@ -136,6 +160,8 @@ type Plan struct {
 	steps []*step  // join order
 	cost  float64
 	stats bool // a Catalog informed the estimates
+
+	obs *obs.Metrics // fan-out/gather-skew observer; nil-safe
 }
 
 // Cost returns the planner's total cost estimate (arbitrary units).
@@ -148,6 +174,14 @@ const (
 	eqSel         = 0.05 // selectivity of a residual equality
 	rangeSel      = 0.33 // selectivity of a residual comparison
 	otherSel      = 0.75 // selectivity of any other residual
+
+	// maxParallelism caps the derived degree of parallelism: past the
+	// store's shard count and typical core counts, more workers only
+	// add exchange traffic.
+	maxParallelism = 16
+	// defaultParallelThreshold is the estimated input cardinality at
+	// which a step starts fanning out (see Options.ParallelThreshold).
+	defaultParallelThreshold = 2048
 )
 
 // Build compiles a physical plan for q. cat may be nil (no
@@ -206,7 +240,67 @@ func Build(q *query.Query, cat Catalog, args map[string]datum.Value, opt Options
 	}
 
 	assignResiduals(p, conjuncts, known)
+	p.obs = opt.Obs
+	markParallel(p, cat, opt)
 	return p
+}
+
+// resolveParallelism turns Options.Parallelism into a concrete worker
+// cap (always >= 1).
+func resolveParallelism(n int) int {
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > maxParallelism {
+		n = maxParallelism
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// markParallel assigns each step's degree of parallelism: a step fans
+// out when the work it distributes — the extent for a base scan or a
+// hash build, the outer tuples for a join probe — is estimated past
+// the threshold. The decision is cost-gated so tiny queries stay
+// serial; it never affects results (see the package comment), only
+// how the executor produces them.
+func markParallel(p *Plan, cat Catalog, opt Options) {
+	dop := resolveParallelism(opt.Parallelism)
+	if dop <= 1 {
+		return
+	}
+	thr := float64(opt.ParallelThreshold)
+	if opt.ParallelThreshold == 0 {
+		thr = defaultParallelThreshold
+	} else if opt.ParallelThreshold < 0 {
+		thr = 0
+	}
+	for i, s := range p.steps {
+		extent := float64(defaultExtent)
+		if cat != nil {
+			extent = math.Max(1, float64(cat.ExtentEstimate(s.from.Class)))
+		}
+		switch {
+		case i == 0:
+			// Only an unselective base extent scan benefits; pins and
+			// index probes are already sub-linear.
+			if s.access == accessExtent && extent >= thr {
+				s.par = dop
+			}
+		case s.access == accessHash:
+			// Parallel when either side is big: the build fans out
+			// over shards, the probe over outer tuples.
+			if extent >= thr || p.steps[i-1].estRows >= thr {
+				s.par = dop
+			}
+		default:
+			if p.steps[i-1].estRows >= thr {
+				s.par = dop
+			}
+		}
+	}
 }
 
 // accessOptions returns every admissible access path for clause f
@@ -459,8 +553,18 @@ func checkableAfter(c query.Expr, name string, bound *query.Env, known map[strin
 
 // Run plans and executes q against r in one call — the engine's
 // default query path. Statistics come from the reader itself when it
-// implements Catalog (the object manager's readers do).
+// implements Catalog (the object manager's readers do). The zero
+// Options apply: parallelism derives from GOMAXPROCS.
 func Run(q *query.Query, r query.Reader, args map[string]datum.Value) (*query.Result, error) {
-	cat, _ := r.(Catalog)
-	return Build(q, cat, args, Options{}).Execute(r, args)
+	return Exec(Options{})(q, r, args)
+}
+
+// Exec returns a Run-shaped executor with fixed options — what the
+// engine installs into the condition evaluator (cond.SetExec) so rule
+// conditions run with the configured parallelism and observer.
+func Exec(opt Options) func(*query.Query, query.Reader, map[string]datum.Value) (*query.Result, error) {
+	return func(q *query.Query, r query.Reader, args map[string]datum.Value) (*query.Result, error) {
+		cat, _ := r.(Catalog)
+		return Build(q, cat, args, opt).Execute(r, args)
+	}
 }

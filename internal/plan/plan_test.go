@@ -4,23 +4,26 @@ import (
 	"reflect"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/datum"
 	"repro/internal/query"
 )
 
-// fakeReader is a test double for query.Reader + Catalog over an
-// in-memory class map. Its index can be made to lie: LookupRange may
-// return extra candidates (false positives), or report ok=false even
-// though the catalog advertised the index (a vanished index).
+// fakeReader is a test double for query.Reader + Catalog +
+// ShardScanner over an in-memory class map. Its index can be made to
+// lie: LookupRange may return extra candidates (false positives), or
+// report ok=false even though the catalog advertised the index (a
+// vanished index). Counters are atomic: parallel plan stages probe
+// and fetch from worker goroutines.
 type fakeReader struct {
 	classes map[string][]cand
 	indexes map[string]bool        // "Class.attr" has an index
 	lies    map[string][]datum.OID // extra OIDs LookupRange returns for "Class.attr"
 	vanish  bool                   // LookupRange always answers ok=false
 
-	scans, lookups, fetches int
+	scans, lookups, fetches atomic.Int64
 }
 
 func newFake() *fakeReader {
@@ -40,8 +43,29 @@ func (f *fakeReader) add(class string, oid datum.OID, attrs map[string]datum.Val
 func (f *fakeReader) index(class, attr string) { f.indexes[class+"."+attr] = true }
 
 func (f *fakeReader) ScanClass(class string, fn func(datum.OID, map[string]datum.Value) bool) error {
-	f.scans++
+	f.scans.Add(1)
 	for _, r := range f.classes[class] {
+		if !fn(r.oid, r.attrs) {
+			break
+		}
+	}
+	return nil
+}
+
+// fakeShards partitions the fake store for the parallel executor's
+// shard fan-out, mirroring the real store's OID-hash sharding.
+const fakeShards = 4
+
+func (f *fakeReader) ShardCount() int { return fakeShards }
+
+func (f *fakeReader) PinShards() (uint64, func()) { return 1, func() {} }
+
+func (f *fakeReader) ScanClassShard(si int, class string, _ uint64, fn func(datum.OID, map[string]datum.Value) bool) error {
+	f.scans.Add(1)
+	for _, r := range f.classes[class] {
+		if int(r.oid)&(fakeShards-1) != si {
+			continue
+		}
 		if !fn(r.oid, r.attrs) {
 			break
 		}
@@ -82,7 +106,7 @@ func (f *fakeReader) LookupRange(class, attr string, lo, hi *datum.Value, loInc,
 	if f.vanish || !f.indexes[key] {
 		return nil, false
 	}
-	f.lookups++
+	f.lookups.Add(1)
 	oids := f.inRange(class, attr, lo, hi, loInc, hiInc)
 	// Inject the configured false positives, then restore the btree
 	// contract: sorted, deduplicated candidates.
@@ -98,7 +122,7 @@ func (f *fakeReader) LookupRange(class, attr string, lo, hi *datum.Value, loInc,
 }
 
 func (f *fakeReader) Fetch(oid datum.OID) (string, map[string]datum.Value, bool) {
-	f.fetches++
+	f.fetches.Add(1)
 	for class, rows := range f.classes {
 		for _, r := range rows {
 			if r.oid == oid {
@@ -134,6 +158,9 @@ func checkAll(t *testing.T, src string, r query.Reader, args map[string]datum.Va
 	want, werr := query.Eval(q, r, args)
 
 	cat, _ := r.(Catalog)
+	// forcePar removes the cardinality floor so even these tiny
+	// fixtures exercise the parallel scan/join/aggregate paths.
+	forcePar := func(n int) Options { return Options{Parallelism: n, ParallelThreshold: -1} }
 	plans := []*Plan{
 		Build(q, cat, args, Options{}),
 		Build(q, cat, args, Options{DisableIndex: true}),
@@ -141,8 +168,14 @@ func checkAll(t *testing.T, src string, r query.Reader, args map[string]datum.Va
 		Build(q, cat, args, Options{DisableIndex: true, DisableHash: true}),
 		Build(q, cat, args, Options{ForceOrder: true}),
 		Build(q, nil, args, Options{}), // no statistics
+		Build(q, cat, args, forcePar(4)),
+		Build(q, cat, args, Options{Parallelism: 4, ParallelThreshold: -1, DisableIndex: true}),
+		Build(q, cat, args, Options{Parallelism: 2, ParallelThreshold: -1, DisableHash: true}),
+		Build(q, cat, args, Options{Parallelism: 8, ParallelThreshold: -1, ForceOrder: true}),
+		Build(q, nil, args, forcePar(3)), // parallel without statistics
 	}
-	plans = append(plans, Enumerate(q, cat, args)...)
+	plans = append(plans, Enumerate(q, cat, args, Options{})...)
+	plans = append(plans, Enumerate(q, cat, args, forcePar(4))...)
 
 	for i, p := range plans {
 		got, gerr := p.Execute(r, args)
@@ -197,7 +230,7 @@ func TestLyingIndexFalsePositivesRefiltered(t *testing.T) {
 	if len(got.Rows) != 1 || !datum.Equal(got.Rows[0][0], datum.ID(3)) {
 		t.Fatalf("rows = %+v, want exactly #3", got.Rows)
 	}
-	if f.lookups == 0 {
+	if f.lookups.Load() == 0 {
 		t.Fatal("index never probed: the lying-index test exercised nothing")
 	}
 
@@ -224,13 +257,13 @@ func TestVanishedIndexDegradesToExtentScan(t *testing.T) {
 	if p.steps[0].access != accessIndex {
 		t.Fatalf("plan should still choose the index (the catalog lied): %v", p.steps[0].access)
 	}
-	f.scans = 0
+	f.scans.Store(0)
 	res, err := p.Execute(f, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 2 || f.scans == 0 {
-		t.Fatalf("rows = %d scans = %d; want a degraded extent scan with 2 rows", len(res.Rows), f.scans)
+	if len(res.Rows) != 2 || f.scans.Load() == 0 {
+		t.Fatalf("rows = %d scans = %d; want a degraded extent scan with 2 rows", len(res.Rows), f.scans.Load())
 	}
 }
 
@@ -461,7 +494,7 @@ func TestCostModelReordersSelectiveJoin(t *testing.T) {
 func TestEnumerateCoversAccessPathsAndOrders(t *testing.T) {
 	f := saaFake(60)
 	q := query.MustParse("select s, h from Stock s, Holding h where s.symbol = h.symbol and h.owner = event.owner")
-	plans := Enumerate(q, f, map[string]datum.Value{"owner": datum.Str("ownera")})
+	plans := Enumerate(q, f, map[string]datum.Value{"owner": datum.Str("ownera")}, Options{})
 	if len(plans) < 4 {
 		t.Fatalf("enumeration too small: %d plans", len(plans))
 	}

@@ -87,3 +87,16 @@ func (v *Env) Accumulate(st *AggState, expr Expr) error {
 func FinishAggregate(st *AggState, expr Expr) (datum.Value, error) {
 	return finishAggregate(&st.st, expr)
 }
+
+// MergeAggState folds src — the partial aggregate of a later,
+// contiguous chunk of the emission sequence — into dst, reporting
+// false when an exact merge is impossible (float sums and averages
+// accumulate in emission order; incomparable min/max candidates are
+// order-sensitive). On false, dst is unspecified and the caller must
+// re-accumulate serially to stay bit-identical to the tree-walk.
+// Parallel partial aggregation in the physical executor is built on
+// this: count, min/max, and integer sums merge exactly and run
+// chunk-parallel; everything else degrades to the serial tail.
+func MergeAggState(dst, src *AggState, expr Expr) bool {
+	return mergeAggState(&dst.st, &src.st, expr)
+}

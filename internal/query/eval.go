@@ -737,6 +737,66 @@ func (e *evaluator) accumulate(st *aggState, expr Expr) error {
 	return nil
 }
 
+// mergeAggState folds src — the partial aggregate of a later,
+// contiguous chunk of the emission sequence — into dst. It reports
+// false when the merged state could differ bitwise from accumulating
+// both chunks serially, in which case dst is left unspecified and the
+// caller must fall back to serial accumulation:
+//
+//   - sum over floats and avg read the float64 running sum, whose
+//     value depends on accumulation order (addition is not
+//     associative);
+//   - min/max candidates that datum.Compare cannot order (cross-kind
+//     values outside the numeric family) keep whichever value came
+//     first, so partials from different chunks cannot be reconciled.
+//
+// count, min/max over comparable values, and sum over ints (int64
+// wraparound addition is associative) merge exactly.
+func mergeAggState(dst, src *aggState, expr Expr) bool {
+	call := findAggregate(expr)
+	if call == nil || src.count == 0 {
+		return true // nothing to merge (count(*) bumps count without init)
+	}
+	if dst.count == 0 {
+		*dst = *src // the serial run would have accumulated src alone
+		return true
+	}
+	switch call.Fn {
+	case "sum":
+		if !dst.isInt || !src.isInt {
+			return false // finish would read the order-sensitive float sum
+		}
+	case "avg":
+		return false // always finishes through the float sum
+	case "count", "min", "max":
+	default:
+		return false // unknown aggregate: let the serial path report it
+	}
+	if src.init && dst.init {
+		cMin, errMin := datum.Compare(src.min, dst.min)
+		cMax, errMax := datum.Compare(src.max, dst.max)
+		if errMin != nil || errMax != nil {
+			return false // incomparable partials are order-sensitive
+		}
+		// Strict inequality keeps the serial "first value wins ties"
+		// behavior: dst holds the earlier chunk.
+		if cMin < 0 {
+			dst.min = src.min
+		}
+		if cMax > 0 {
+			dst.max = src.max
+		}
+	} else if src.init {
+		dst.init = true
+		dst.min, dst.max = src.min, src.max
+	}
+	dst.count += src.count
+	dst.sumI += src.sumI
+	dst.sum += src.sum
+	dst.isInt = dst.isInt && src.isInt
+	return true
+}
+
 func findAggregate(expr Expr) *Call {
 	switch v := expr.(type) {
 	case *Call:

@@ -330,6 +330,80 @@ func TestSizeTriggeredCheckpoint(t *testing.T) {
 	}
 }
 
+// TestCheckpointPersistsClassCards pins the v3 snapshot-header
+// statistics: a checkpoint writes the live per-class extent
+// cardinalities, deltas carry the GLOBAL cards (not just the dirty
+// classes), the offline inspector surfaces them, and a reopened store
+// seeds its planner statistics from the newest chain element.
+func TestCheckpointPersistsClassCards(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(newTopo(), Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := 1
+	put := func(class string, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			commitOne(t, s, lock.TxnID(txn), rec(s.AllocOID(), class,
+				map[string]datum.Value{"v": datum.Int(int64(i))}))
+			txn++
+		}
+	}
+	put("C", 7)
+	put("D", 3)
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty only C: the delta's cards must still cover D.
+	put("C", 2)
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := InspectSnapshotFile(filepath.Join(dir, fullSnapshotName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Format != snapshotMagic {
+		t.Fatalf("full format = %q, want %q", full.Format, snapshotMagic)
+	}
+	if full.ClassCards["C"] != 7 || full.ClassCards["D"] != 3 {
+		t.Fatalf("full cards = %v, want C:7 D:3", full.ClassCards)
+	}
+	delta, err := InspectSnapshotFile(filepath.Join(dir, deltaName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.ClassCards["C"] != 9 || delta.ClassCards["D"] != 3 {
+		t.Fatalf("delta cards = %v, want global C:9 D:3", delta.ClassCards)
+	}
+
+	// Reopen: the newest element's cards seed the planner statistics,
+	// and the live extent counters agree with them after install.
+	s2, err := Open(newTopo(), Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	seeded := s2.SeededStats()
+	if seeded["C"] != 9 || seeded["D"] != 3 {
+		t.Fatalf("seeded stats = %v, want C:9 D:3", seeded)
+	}
+	if got := s2.ExtentEstimate("C"); got != 9 {
+		t.Fatalf("ExtentEstimate(C) = %d, want 9", got)
+	}
+	// The seed answers for classes with no live extent entries yet —
+	// the cold-start fallback ExtentEstimate documents.
+	s2.seedStats(map[string]uint64{"Ghost": 41})
+	if got := s2.ExtentEstimate("Ghost"); got != 41 {
+		t.Fatalf("ExtentEstimate(Ghost) = %d, want seeded 41", got)
+	}
+}
+
 // TestInspectSnapshot drives the offline inspector over a real chain:
 // the full snapshot, a delta (whose parent link must match the full
 // file's trailing CRC), and a deliberately corrupted copy.

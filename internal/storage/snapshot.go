@@ -17,7 +17,7 @@
 // refuses the directory only if log records the broken chain would
 // need have already been truncated away.
 //
-// File layout (format v2, magic "hipacsp2"):
+// File layout (format v3, magic "hipacsp3"):
 //
 //	[8]byte  magic
 //	byte     kind (0 = full, 1 = delta)
@@ -26,12 +26,20 @@
 //	delta only:
 //	  uvarint parent watermark LSN
 //	  uint32  parent CRC (big-endian; the parent file's trailing CRC)
+//	uvarint  class-cardinality count, then per class (sorted by name):
+//	  uvarint name length, name bytes, uvarint extent cardinality
 //	records in redo form (uvarint count, then frames)
 //	uint32   CRC-32 (IEEE, big-endian) over everything above
 //
-// Format v1 ("hipacsp1": no kind byte, no parent link) is still read
-// as a full snapshot so directories written before the delta chain
-// existed keep opening.
+// The class cardinalities are checkpoint-time planner statistics: the
+// store's live per-class extent counters as of the cut (global state,
+// even in a delta element). Recovery seeds ExtentEstimate from the
+// newest element's table, so a cold engine costs plans with real
+// extents before touching any live structure.
+//
+// Formats v1 ("hipacsp1": no kind byte, no parent link, read as a
+// full snapshot) and v2 ("hipacsp2": no cardinality table) are still
+// read so directories written by older builds keep opening.
 package storage
 
 import (
@@ -53,8 +61,12 @@ import (
 const (
 	// snapshotMagicV1 tags the legacy single-file snapshot format.
 	snapshotMagicV1 = "hipacsp1"
-	// snapshotMagic tags the current format: kind byte + parent link.
-	snapshotMagic = "hipacsp2"
+	// snapshotMagicV2 tags the chain format without the class-
+	// cardinality table.
+	snapshotMagicV2 = "hipacsp2"
+	// snapshotMagic tags the current format: kind byte + parent link +
+	// checkpoint-time class cardinalities.
+	snapshotMagic = "hipacsp3"
 
 	snapKindFull  byte = 0
 	snapKindDelta byte = 1
@@ -79,7 +91,10 @@ type snapshot struct {
 	// extends; zero for full snapshots.
 	parentWatermark wal.LSN
 	parentCRC       uint32
-	recs            []Record
+	// cards is the checkpoint-time per-class extent cardinality table
+	// (planner statistics); nil for pre-v3 files.
+	cards map[string]uint64
+	recs  []Record
 	// crc is the file's own trailing CRC — the link value a child
 	// delta must carry.
 	crc uint32
@@ -94,6 +109,17 @@ func encodeSnapshot(sn *snapshot) []byte {
 	if sn.kind == snapKindDelta {
 		buf = binary.AppendUvarint(buf, uint64(sn.parentWatermark))
 		buf = binary.BigEndian.AppendUint32(buf, sn.parentCRC)
+	}
+	names := make([]string, 0, len(sn.cards))
+	for name := range sn.cards {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic bytes -> deterministic CRC
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		buf = binary.AppendUvarint(buf, sn.cards[name])
 	}
 	buf = append(buf, encodeRedo(sn.recs)...)
 	sn.crc = crc32.ChecksumIEEE(buf)
@@ -113,11 +139,13 @@ func decodeSnapshot(buf []byte) (*snapshot, error) {
 	}
 	sn := &snapshot{crc: stored}
 	var n int
+	var hasCards bool
 	switch string(body[:len(snapshotMagic)]) {
 	case snapshotMagicV1:
 		sn.kind = snapKindFull
 		n = len(snapshotMagicV1)
-	case snapshotMagic:
+	case snapshotMagicV2, snapshotMagic:
+		hasCards = string(body[:len(snapshotMagic)]) == snapshotMagic
 		n = len(snapshotMagic)
 		if n >= len(body) {
 			return nil, errors.New("storage: snapshot missing kind")
@@ -155,12 +183,52 @@ func decodeSnapshot(buf []byte) (*snapshot, error) {
 		sn.parentCRC = binary.BigEndian.Uint32(body[n : n+4])
 		n += 4
 	}
+	if hasCards {
+		var err error
+		if sn.cards, n, err = decodeCards(body, n); err != nil {
+			return nil, err
+		}
+	}
 	recs, err := decodeRedo(body[n:])
 	if err != nil {
 		return nil, fmt.Errorf("storage: snapshot: %w", err)
 	}
 	sn.recs = recs
 	return sn, nil
+}
+
+// decodeCards parses the class-cardinality table at body[n:],
+// returning the table and the offset past it. Length checks are
+// untrusted-input safe (the fuzz target feeds arbitrary bytes).
+func decodeCards(body []byte, n int) (map[string]uint64, int, error) {
+	cnt, m := binary.Uvarint(body[n:])
+	if m <= 0 {
+		return nil, 0, errors.New("storage: bad snapshot stats count")
+	}
+	n += m
+	var cards map[string]uint64
+	for i := uint64(0); i < cnt; i++ {
+		l, m := binary.Uvarint(body[n:])
+		if m <= 0 {
+			return nil, 0, errors.New("storage: bad snapshot stats name length")
+		}
+		n += m
+		if l > uint64(len(body)-n) {
+			return nil, 0, errors.New("storage: snapshot stats name overruns body")
+		}
+		name := string(body[n : n+int(l)])
+		n += int(l)
+		card, m := binary.Uvarint(body[n:])
+		if m <= 0 {
+			return nil, 0, errors.New("storage: bad snapshot stats cardinality")
+		}
+		n += m
+		if cards == nil {
+			cards = map[string]uint64{}
+		}
+		cards[name] = card
+	}
+	return cards, n, nil
 }
 
 // readSnapshotFile reads and decodes one snapshot or delta file,
@@ -321,12 +389,26 @@ func (s *Store) loadChain() (wal.LSN, error) {
 	return tip, nil
 }
 
+// seedStats records the per-class cardinalities of one chain element;
+// later elements overwrite earlier ones, so after loadChain the seed
+// is the newest checkpoint's statistics. Pre-v3 elements carry none.
+func (s *Store) seedStats(cards map[string]uint64) {
+	if len(cards) == 0 {
+		return
+	}
+	s.statsSeed = make(map[string]uint64, len(cards))
+	for k, v := range cards {
+		s.statsSeed[k] = v
+	}
+}
+
 // installSnapshot applies one decoded chain element to the store.
 // Runs during Open, before any concurrency, but takes the shard locks
 // anyway so installCommitted's contract holds. The whole element is
 // stamped with one fresh commit LSN — on-disk records carry no
 // version history, so recovery rebuilds single-version chains.
 func (s *Store) installSnapshot(sn *snapshot) {
+	s.seedStats(sn.cards)
 	if sn.nextOID > 0 {
 		s.raiseNextOID(sn.nextOID - 1)
 	}
@@ -387,7 +469,8 @@ func (s *Store) writeSnapshotFile(sn *snapshot, name, tmpName, midSite, renameSi
 // as reported by InspectSnapshotFile and `hipac-cli snapshot inspect`.
 type SnapshotInfo struct {
 	Path string `json:"path"`
-	// Format is the magic string ("hipacsp1" or "hipacsp2").
+	// Format is the magic string ("hipacsp1", "hipacsp2", or
+	// "hipacsp3").
 	Format string `json:"format"`
 	// Kind is "full" or "delta".
 	Kind      string `json:"kind"`
@@ -396,7 +479,10 @@ type SnapshotInfo struct {
 	// ParentWatermark/ParentCRC are the chain link (delta only).
 	ParentWatermark uint64 `json:"parentWatermark,omitempty"`
 	ParentCRC       uint32 `json:"parentCrc,omitempty"`
-	Records         int    `json:"records"`
+	// ClassCards is the checkpoint-time per-class extent cardinality
+	// table (v3 files; planner statistics seeded at recovery).
+	ClassCards map[string]uint64 `json:"classCards,omitempty"`
+	Records    int               `json:"records"`
 	// CRC is the file's stored trailing checksum; CRCOK reports
 	// whether the body matches it.
 	CRC   uint32 `json:"crc"`
@@ -424,13 +510,15 @@ func InspectSnapshotFile(path string) (*SnapshotInfo, error) {
 
 	var kind byte
 	var n int
-	switch string(body[:len(snapshotMagic)]) {
+	hasCards := false
+	switch magic := string(body[:len(snapshotMagic)]); magic {
 	case snapshotMagicV1:
 		info.Format, info.Kind = snapshotMagicV1, "full"
 		n = len(snapshotMagicV1)
-	case snapshotMagic:
-		info.Format = snapshotMagic
-		n = len(snapshotMagic)
+	case snapshotMagicV2, snapshotMagic:
+		info.Format = magic
+		hasCards = magic == snapshotMagic
+		n = len(magic)
 		if n >= len(body) {
 			return nil, errors.New("storage: snapshot missing kind")
 		}
@@ -471,6 +559,14 @@ func InspectSnapshotFile(path string) (*SnapshotInfo, error) {
 		info.ParentWatermark = pw
 		info.ParentCRC = binary.BigEndian.Uint32(body[n : n+4])
 		n += 4
+	}
+	if hasCards {
+		cards, m, err := decodeCards(body, n)
+		if err != nil {
+			return nil, err
+		}
+		info.ClassCards = cards
+		n = m
 	}
 	// The record count is the next uvarint; the frames themselves are
 	// not decoded (a damaged body should not block header inspection).

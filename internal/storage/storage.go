@@ -167,6 +167,12 @@ type Store struct {
 	dirty     sync.Map // lock.TxnID -> *txnDirty
 	modSeq    sync.Map // class string -> *atomic.Uint64
 	extentN   sync.Map // class string -> *atomic.Int64 (extent cardinality)
+	// statsSeed holds the per-class extent cardinalities carried by the
+	// newest snapshot-chain element loaded at Open: checkpoint-time
+	// planner statistics that answer ExtentEstimate even before (or
+	// without) the live counters seeing the class. Written only during
+	// single-threaded recovery; read-only afterwards.
+	statsSeed map[string]uint64
 	nextOID   atomic.Uint64
 	log       *wal.Log
 	dir       string
@@ -571,16 +577,49 @@ func (s *Store) extentCounter(class string) *atomic.Int64 {
 
 // ExtentEstimate returns the approximate cardinality of class's
 // extent: the number of extent-membership entries across all shards,
-// maintained O(1) at insert/remove. It over-counts live rows by
-// uncommitted inserts and not-yet-GC'd tombstone-headed chains, which
-// is fine for its purpose — planner cost estimation.
+// maintained O(1) at insert/remove, falling back to the cardinality
+// the newest loaded snapshot header recorded at checkpoint time. It
+// over-counts live rows by uncommitted inserts and not-yet-GC'd
+// tombstone-headed chains, which is fine for its purpose — planner
+// cost estimation.
 func (s *Store) ExtentEstimate(class string) int {
 	if v, ok := s.extentN.Load(class); ok {
 		if n := v.(*atomic.Int64).Load(); n > 0 {
 			return int(n)
 		}
 	}
+	if n, ok := s.statsSeed[class]; ok {
+		return int(n)
+	}
 	return 0
+}
+
+// SeededStats returns a copy of the per-class extent cardinalities the
+// newest snapshot-chain element carried at Open (nil when the chain
+// predates checkpoint statistics). Planner statistics are seeded from
+// these on a cold start instead of live structure probes.
+func (s *Store) SeededStats() map[string]uint64 {
+	if len(s.statsSeed) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(s.statsSeed))
+	for k, v := range s.statsSeed {
+		out[k] = v
+	}
+	return out
+}
+
+// classCards captures the live per-class extent cardinalities — the
+// planner statistics a checkpoint persists in its header.
+func (s *Store) classCards() map[string]uint64 {
+	cards := map[string]uint64{}
+	s.extentN.Range(func(k, v any) bool {
+		if n := v.(*atomic.Int64).Load(); n > 0 {
+			cards[k.(string)] = uint64(n)
+		}
+		return true
+	})
+	return cards
 }
 
 // IndexEstimate counts committed-tier index entries on class.attr in
@@ -670,22 +709,51 @@ func (s *Store) ScanClassAt(tx lock.TxnID, class string, snap uint64, fn func(Re
 	tm := s.obsm.Timer(obs.HSnapshotRead)
 	var recs []Record
 	for _, sh := range s.shards {
-		ev, ok := sh.extents.Load(class)
-		if !ok {
-			continue
-		}
-		ev.(*sync.Map).Range(func(k, _ any) bool {
-			oid := k.(datum.OID)
-			if v, ok := sh.objects.Load(oid); ok {
-				if rec, ok := s.resolve(v.(*mvEntry), tx, snap); ok && rec.Class == class {
-					recs = append(recs, rec)
-				}
-			}
-			return true
-		})
+		recs = s.collectClassShard(sh, tx, class, snap, recs)
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].OID < recs[j].OID })
 	tm.Done()
+	for _, rec := range recs {
+		if !fn(rec) {
+			return
+		}
+	}
+}
+
+// collectClassShard appends one shard's visible records of class at
+// snap to recs — the lock-free resolve walk shared by the whole-extent
+// scan and the per-shard parallel iterator.
+func (s *Store) collectClassShard(sh *shard, tx lock.TxnID, class string, snap uint64, recs []Record) []Record {
+	ev, ok := sh.extents.Load(class)
+	if !ok {
+		return recs
+	}
+	ev.(*sync.Map).Range(func(k, _ any) bool {
+		oid := k.(datum.OID)
+		if v, ok := sh.objects.Load(oid); ok {
+			if rec, ok := s.resolve(v.(*mvEntry), tx, snap); ok && rec.Class == class {
+				recs = append(recs, rec)
+			}
+		}
+		return true
+	})
+	return recs
+}
+
+// ScanClassShardAt visits shard si's slice of class's extent, in
+// ascending OID order within the shard, at snapshot snap. It is the
+// per-shard MVCC extent iterator behind the parallel query executor:
+// one worker per shard, every worker at the same pinned LSN, no locks
+// taken at any point, so N workers and concurrent committers never
+// contend. The caller owns the snapshot-pin obligation of ScanClassAt
+// (keep a Snapshot registered at or below snap across *all* workers);
+// out-of-range si visits nothing. Scanning stops if fn returns false.
+func (s *Store) ScanClassShardAt(tx lock.TxnID, si int, class string, snap uint64, fn func(Record) bool) {
+	if si < 0 || si >= len(s.shards) {
+		return
+	}
+	recs := s.collectClassShard(s.shards[si], tx, class, snap, nil)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].OID < recs[j].OID })
 	for _, rec := range recs {
 		if !fn(rec) {
 			return
@@ -1553,7 +1621,11 @@ func (s *Store) checkpoint(forceFull bool) (CheckpointResult, error) {
 		res.Kind = "full"
 	}
 	if writeFile {
-		sn := &snapshot{watermark: watermark, nextOID: nextOID, recs: recs}
+		// Every chain element (delta included) carries the *global*
+		// per-class cardinalities as of the cut — recovery seeds planner
+		// statistics from the newest element, so cold-start plans cost
+		// with real extents before any live counter moves.
+		sn := &snapshot{watermark: watermark, nextOID: nextOID, recs: recs, cards: s.classCards()}
 		if full {
 			sn.kind = snapKindFull
 			nbytes, err := s.writeSnapshotFile(sn, fullSnapshotName, fullSnapshotName+".tmp",
